@@ -1,0 +1,33 @@
+"""Benchmark regenerating the Fig. 1 / Section 2.3 "usefulness of the HTM" scenario."""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import run_fig1
+
+
+def bench_fig1_htm_usefulness(benchmark):
+    """Two identical servers, a third task at t=80: the HTM picks the right one."""
+
+    result = benchmark.pedantic(
+        lambda: run_fig1(duration_t1=100.0, duration_t2=200.0, duration_t3=100.0, arrival_t3=80.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    p1 = result.predictions["server-1"]
+    p2 = result.predictions["server-2"]
+    benchmark.extra_info["chosen_server"] = result.chosen_server
+    benchmark.extra_info["completion_on_server_1"] = round(p1.new_task_completion, 2)
+    benchmark.extra_info["completion_on_server_2"] = round(p2.new_task_completion, 2)
+    benchmark.extra_info["perturbation_on_server_1"] = round(p1.sum_perturbation, 2)
+    benchmark.extra_info["perturbation_on_server_2"] = round(p2.sum_perturbation, 2)
+
+    # Shape criteria: the HTM knows the remaining durations (20 s vs 120 s) and
+    # therefore maps the new task on server-1, with a strictly smaller
+    # completion date and a strictly smaller perturbation.
+    assert result.chosen_server == "server-1"
+    assert p1.new_task_completion < p2.new_task_completion
+    assert p1.sum_perturbation < p2.sum_perturbation
+    # Both Gantt charts exist and cover the three tasks of the figure.
+    assert {row.task_id for row in result.charts["server-1"]} == {"task1", "task3"}
+    assert {row.task_id for row in result.charts["server-2"]} == {"task2", "task3"}

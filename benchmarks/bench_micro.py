@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the table benchmarks (which run an experiment once and check its
+shape), these measure the wall-clock performance of the building blocks the
+experiments hammer: the processor-sharing queue, the fluid network, HTM
+predictions and a full middleware run.  They are ordinary pytest-benchmark
+timings (multiple rounds) and carry no shape assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.htm import HistoricalTraceManager
+from repro.platform.middleware import GridMiddleware, MiddlewareConfig
+from repro.simulation.fluid import FluidNetwork, FluidStage, ProcessorSharingQueue
+from repro.workload.problems import matmul_problem
+from repro.workload.tasks import Task
+from repro.workload.testbed import first_set_platform, matmul_metatask
+
+
+def bench_psq_thousand_jobs(benchmark):
+    """Advance a processor-sharing queue through 1000 staggered jobs."""
+
+    def run():
+        queue = ProcessorSharingQueue(capacity=1.0)
+        completions = 0
+        for i in range(1000):
+            completions += len(queue.advance_to(float(i)))
+            queue.add(i, 5.0 + (i % 7), now=float(i))
+        completions += len(queue.advance_to(10_000.0))
+        return completions
+
+    assert benchmark(run) == 1000
+
+
+def bench_fluid_network_three_phase_tasks(benchmark):
+    """Run 300 three-phase tasks through a server-like fluid network."""
+
+    def run():
+        network = FluidNetwork({"net_in": 1.0, "cpu": 1.0, "net_out": 1.0})
+        for i in range(300):
+            network.add_task(
+                i,
+                arrival=i * 2.0,
+                stages=(
+                    FluidStage("net_in", 1.0),
+                    FluidStage("cpu", 10.0 + (i % 5)),
+                    FluidStage("net_out", 0.5),
+                ),
+            )
+        return len(network.run_to_completion())
+
+    assert benchmark(run) == 300
+
+
+def bench_htm_prediction_under_load(benchmark):
+    """One HTM what-if prediction on a server already loaded with 50 tasks."""
+    htm = HistoricalTraceManager()
+    htm.register_server("artimon", lambda p: p.costs_on("artimon"))
+    for i in range(50):
+        htm.commit("artimon", Task(f"t{i}", matmul_problem(1500), arrival=0.0), now=float(i))
+    new_task = Task("new", matmul_problem(1800), arrival=50.0)
+
+    prediction = benchmark(lambda: htm.predict("artimon", new_task, now=50.0))
+    assert prediction.new_task_completion > 50.0
+
+
+def bench_full_middleware_run_msf_100_tasks(benchmark):
+    """End-to-end middleware run: 100 matrix tasks scheduled by MSF."""
+    metatask = matmul_metatask(count=100, mean_interarrival=20.0, rng=np.random.default_rng(1))
+
+    def run():
+        middleware = GridMiddleware(
+            first_set_platform(), "msf", config=MiddlewareConfig(seed=1)
+        )
+        return middleware.run(metatask).completed_count
+
+    assert benchmark(run) == 100
+
+
+def bench_full_middleware_run_mct_100_tasks(benchmark):
+    """End-to-end middleware run: the MCT baseline on the same workload."""
+    metatask = matmul_metatask(count=100, mean_interarrival=20.0, rng=np.random.default_rng(1))
+
+    def run():
+        middleware = GridMiddleware(
+            first_set_platform(), "mct", config=MiddlewareConfig(seed=1)
+        )
+        return middleware.run(metatask).completed_count
+
+    assert benchmark(run) == 100

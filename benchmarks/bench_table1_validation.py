@@ -1,0 +1,48 @@
+"""Benchmark regenerating Table 1 — validation of the shared-CPU model.
+
+Paper reference: "We have shown small variations between the simulated and
+real execution dates (a mean of less than 3% with regard to the duration)."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.validation import run_table1
+from repro.platform.faults import SpeedNoiseModel
+
+
+def bench_table1_model_validation(benchmark):
+    """Real vs HTM-simulated completion dates on a noisy server."""
+
+    result = benchmark.pedantic(
+        lambda: run_table1(noise=SpeedNoiseModel(relative_sigma=0.02, period_s=20.0), seed=2003),
+        rounds=1,
+        iterations=1,
+    )
+
+    benchmark.extra_info["mean_percent_error"] = round(result.mean_percent_error, 3)
+    benchmark.extra_info["max_percent_error"] = round(result.max_percent_error, 3)
+    benchmark.extra_info["rows"] = [
+        {
+            "task": row.task_id,
+            "arrival": round(row.arrival, 2),
+            "size": row.matrix_size,
+            "real": round(row.real_completion, 2),
+            "simulated": round(row.simulated_completion, 2),
+            "percent_error": round(row.percent_error, 2),
+        }
+        for row in result.rows
+    ]
+
+    # Shape criterion: the HTM's model error stays within a few percent, as in
+    # the paper (Table 1 reports a mean below 3 %).
+    assert result.mean_percent_error < 4.0
+    assert result.max_percent_error < 15.0
+    assert len(result.rows) == 12  # 3 + 9 tasks, as in Table 1
+
+
+def bench_table1_noiseless_sanity(benchmark):
+    """Without platform noise the HTM matches the ground truth exactly."""
+
+    result = benchmark.pedantic(lambda: run_table1(noise=None, seed=1), rounds=1, iterations=1)
+    benchmark.extra_info["mean_percent_error"] = round(result.mean_percent_error, 6)
+    assert result.mean_percent_error < 1e-6

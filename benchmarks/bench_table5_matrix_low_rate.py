@@ -1,0 +1,52 @@
+"""Benchmark regenerating Table 5 — matrix multiplications, low arrival rate.
+
+Shape criteria (from the paper's Table 5):
+
+* every heuristic completes the whole 500-task metatask;
+* the makespans are within a few percent of each other;
+* ``sumflow(MSF) <= sumflow(HMCT) <= sumflow(MCT)`` and MSF beats MP;
+* MP has the largest max-flow (it parks tasks on slow but idle servers) and
+  the smallest max-stretch; MSF has the smallest max-flow;
+* well over half of the tasks finish sooner than under NetSolve's MCT.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_table
+
+from repro.experiments.set1 import run_table5
+
+
+def bench_table5_matrix_low_rate(benchmark, experiment_config, full_scale):
+    """Reproduce Table 5 and check the published ordering of the metrics."""
+
+    table = benchmark.pedantic(lambda: run_table5(experiment_config), rounds=1, iterations=1)
+    attach_table(benchmark, table)
+
+    completed = {h: table.value(h, "completed tasks") for h in table.columns}
+    sumflow = {h: table.value(h, "sumflow") for h in table.columns}
+    maxflow = {h: table.value(h, "maxflow") for h in table.columns}
+    maxstretch = {h: table.value(h, "maxstretch") for h in table.columns}
+    makespan = {h: table.value(h, "makespan") for h in table.columns}
+
+    # Every task completes at the low rate.
+    total = experiment_config.scale.task_count
+    for heuristic in ("mct", "hmct", "mp", "msf"):
+        assert completed[heuristic] == total
+
+    # Makespans are essentially identical ("the makespan value is strongly
+    # dependent on the latest task arrival").
+    assert max(makespan.values()) <= min(makespan.values()) * (1.03 if full_scale else 1.3)
+
+    if full_scale:
+        # The HTM heuristics beat the load-report MCT on sum-flow.
+        assert sumflow["msf"] <= sumflow["hmct"] <= sumflow["mct"] * 1.02
+        assert sumflow["msf"] < sumflow["mp"]
+        # MP has the largest max-flow, MSF the smallest; MP the best stretch.
+        assert maxflow["mp"] == max(maxflow.values())
+        assert maxflow["msf"] == min(maxflow.values())
+        assert maxstretch["mp"] == min(maxstretch.values())
+        # Most tasks finish sooner than under MCT.
+        for heuristic in ("hmct", "mp", "msf"):
+            sooner = table.value(heuristic, "tasks finishing sooner than MCT")
+            assert sooner >= 0.55 * total

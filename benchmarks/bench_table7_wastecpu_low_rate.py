@@ -1,0 +1,48 @@
+"""Benchmark regenerating Table 7 — waste-cpu tasks, low arrival rate.
+
+Shape criteria (from the paper's Table 7): every task completes (waste-cpu
+needs no memory); the HTM heuristics improve the sum-flow over MCT; MP gives
+the best max-stretch and the largest max-flow; roughly two thirds of the
+tasks finish sooner than under MCT.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_table
+
+from repro.experiments.set2 import run_table7
+
+
+def bench_table7_wastecpu_low_rate(benchmark, experiment_config, full_scale):
+    """Reproduce Table 7 (three metatasks, means) and check the ordering."""
+
+    table = benchmark.pedantic(lambda: run_table7(experiment_config), rounds=1, iterations=1)
+    attach_table(benchmark, table)
+
+    completed = {h: table.value(h, "completed tasks") for h in table.columns}
+    sumflow = {h: table.value(h, "sumflow") for h in table.columns}
+    maxflow = {h: table.value(h, "maxflow") for h in table.columns}
+    maxstretch = {h: table.value(h, "maxstretch") for h in table.columns}
+    makespan = {h: table.value(h, "makespan") for h in table.columns}
+
+    # "All the tasks of all the metatasks of this set of experiments have been
+    # submitted, accepted and computed."
+    total = experiment_config.scale.task_count
+    for heuristic in ("mct", "hmct", "mp", "msf"):
+        assert completed[heuristic] == total
+
+    assert max(makespan.values()) <= min(makespan.values()) * (1.03 if full_scale else 1.3)
+
+    if full_scale:
+        # HTM-based heuristics do not lose to the stale-information MCT.
+        assert sumflow["hmct"] <= sumflow["mct"]
+        assert sumflow["msf"] <= sumflow["hmct"]
+        assert sumflow["mp"] <= sumflow["mct"]
+        # MP: best stretch, largest max-flow; MSF: smallest max-flow.
+        assert maxstretch["mp"] == min(maxstretch.values())
+        assert maxstretch["mct"] == max(maxstretch.values())
+        assert maxflow["mp"] == max(maxflow.values())
+        assert maxflow["msf"] == min(maxflow.values())
+        for heuristic in ("hmct", "mp", "msf"):
+            sooner = table.value(heuristic, "tasks finishing sooner than MCT")
+            assert sooner >= 0.55 * total

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Table 8 — waste-cpu tasks, high arrival rate.
+
+Shape criteria (from the paper's Table 8): all tasks still complete; the
+contention is higher, so the perturbation-aware heuristics pull further
+ahead — MP and MSF have clearly lower sum-flows than MCT and HMCT, MSF the
+lowest max-flow, MP the lowest max-stretch, and the number of tasks finishing
+sooner than MCT grows towards 80 % for MP and MSF.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_table
+
+from repro.experiments.set2 import run_table8
+
+
+def bench_table8_wastecpu_high_rate(benchmark, experiment_config, full_scale):
+    """Reproduce Table 8 (three metatasks, means) and check the ordering."""
+
+    table = benchmark.pedantic(lambda: run_table8(experiment_config), rounds=1, iterations=1)
+    attach_table(benchmark, table)
+
+    completed = {h: table.value(h, "completed tasks") for h in table.columns}
+    sumflow = {h: table.value(h, "sumflow") for h in table.columns}
+    maxflow = {h: table.value(h, "maxflow") for h in table.columns}
+    maxstretch = {h: table.value(h, "maxstretch") for h in table.columns}
+
+    total = experiment_config.scale.task_count
+    for heuristic in ("mct", "hmct", "mp", "msf"):
+        assert completed[heuristic] == total
+
+    if full_scale:
+        # The gain of the perturbation-based heuristics grows with the rate.
+        assert sumflow["mct"] == max(sumflow.values())
+        assert sumflow["mp"] < sumflow["hmct"]
+        assert sumflow["msf"] < sumflow["hmct"]
+        assert sumflow["msf"] < 0.9 * sumflow["mct"]
+        # MSF: smallest max-flow; MP: smallest max-stretch.
+        assert maxflow["msf"] == min(maxflow.values())
+        assert maxstretch["mp"] == min(maxstretch.values())
+        # Quality of service: MP and MSF make ~80 % of the tasks finish sooner.
+        for heuristic in ("mp", "msf"):
+            sooner = table.value(heuristic, "tasks finishing sooner than MCT")
+            assert sooner >= 0.7 * total
+        assert table.value("hmct", "tasks finishing sooner than MCT") >= 0.5 * total

@@ -1,0 +1,93 @@
+"""Command-line interface.
+
+``repro-experiment`` (or ``python -m repro.cli``) runs any registered
+experiment and prints the reproduced table::
+
+    repro-experiment --list
+    repro-experiment table5 --scale smoke
+    repro-experiment table1
+    repro-experiment ablation-arrival-rate-sweep
+
+The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
+500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
+seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    BENCH_SCALE,
+    FULL_SCALE,
+    SMOKE_SCALE,
+    ExperimentConfig,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = ["build_parser", "main"]
+
+_SCALES = {"full": FULL_SCALE, "bench": BENCH_SCALE, "smoke": SMOKE_SCALE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce the experiments of 'New Dynamic Heuristics in the "
+        "Client-Agent-Server Model' (Caniou & Jeannot, HCW'03).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list), e.g. table5, table1, fig1",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="full",
+        help="experiment size: full (paper, 500 tasks), bench, or smoke (default: full)",
+    )
+    parser.add_argument("--seed", type=int, default=2003, help="root random seed (default: 2003)")
+    parser.add_argument(
+        "--markdown", action="store_true", help="print tables as Markdown instead of plain text"
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    lines = ["available experiments:"]
+    for experiment_id in experiment_ids():
+        entry = get_experiment(experiment_id)
+        lines.append(f"  {experiment_id:<32} {entry.paper_artefact:<28} {entry.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the CLI."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print(_list_experiments())
+        return 0
+
+    config = ExperimentConfig(scale=_SCALES[args.scale], seed=args.seed)
+    result = run_experiment(args.experiment, config)
+
+    if hasattr(result, "render_markdown") and args.markdown:
+        print(result.render_markdown())
+    elif hasattr(result, "render"):
+        print(result.render())
+    else:  # pragma: no cover - defensive
+        print(result)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

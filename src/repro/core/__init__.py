@@ -1,0 +1,59 @@
+"""The paper's primary contribution: the HTM, the perturbation and the heuristics.
+
+This package contains everything Section 2.3–4 of the paper describes:
+
+* :class:`HistoricalTraceManager` — the in-agent simulation of every mapped
+  task (per-server Gantt charts, completion predictions, perturbations);
+* :class:`~repro.core.records.HtmPrediction` / :class:`~repro.core.perturbation.PerturbationReport`
+  — the what-if results the heuristics reason about;
+* the scheduling heuristics (:mod:`repro.core.heuristics`): MCT (baseline),
+  HMCT, MP, MSF, plus extensions.
+"""
+
+from .gantt import GanttChart, GanttPhase, GanttRow, chart_from_states
+from .htm import HistoricalTraceManager, ServerTrace
+from .perturbation import CandidateSummary, PerturbationReport
+from .records import HtmPrediction, TracedTask
+from .heuristics import (
+    Decision,
+    Heuristic,
+    HtmHeuristic,
+    SchedulingContext,
+    ServerInfo,
+    MctHeuristic,
+    HmctHeuristic,
+    MpHeuristic,
+    MsfHeuristic,
+    MniHeuristic,
+    HEURISTIC_REGISTRY,
+    PAPER_HEURISTICS,
+    create_heuristic,
+    available_heuristics,
+)
+
+__all__ = [
+    "HistoricalTraceManager",
+    "ServerTrace",
+    "HtmPrediction",
+    "TracedTask",
+    "GanttChart",
+    "GanttRow",
+    "GanttPhase",
+    "chart_from_states",
+    "CandidateSummary",
+    "PerturbationReport",
+    "Decision",
+    "Heuristic",
+    "HtmHeuristic",
+    "SchedulingContext",
+    "ServerInfo",
+    "MctHeuristic",
+    "HmctHeuristic",
+    "MpHeuristic",
+    "MsfHeuristic",
+    "MniHeuristic",
+    "HEURISTIC_REGISTRY",
+    "PAPER_HEURISTICS",
+    "create_heuristic",
+    "available_heuristics",
+]

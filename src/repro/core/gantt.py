@@ -1,0 +1,142 @@
+"""Gantt charts of server traces.
+
+The HTM "can build or update the Gantt Chart for each server when a new
+incoming task is mapped" (Section 2.3, Fig. 1).  This module turns the fluid
+task states of a server trace into a :class:`GanttChart`, a plain data
+structure that can be inspected programmatically, compared between the
+"before" and "after" mapping of a task, and rendered as ASCII art (used by
+the Fig. 1 example and the quickstart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..simulation.fluid import FluidTaskState
+from .records import PHASE_NAMES
+
+__all__ = ["GanttPhase", "GanttRow", "GanttChart", "chart_from_states"]
+
+
+@dataclass(frozen=True)
+class GanttPhase:
+    """One phase of one task on the chart: ``[start, end)`` on a resource."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the phase (includes time-sharing slowdown)."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class GanttRow:
+    """All phases of one task on one server."""
+
+    task_id: str
+    arrival: float
+    phases: Tuple[GanttPhase, ...]
+
+    @property
+    def start(self) -> float:
+        """Date the first phase started."""
+        return self.phases[0].start if self.phases else self.arrival
+
+    @property
+    def end(self) -> Optional[float]:
+        """Completion date of the task, or ``None`` if still running."""
+        return self.phases[-1].end if self.phases else None
+
+    def phase(self, name: str) -> Optional[GanttPhase]:
+        """The phase called ``name``, if present."""
+        for ph in self.phases:
+            if ph.name == name:
+                return ph
+        return None
+
+
+@dataclass(frozen=True)
+class GanttChart:
+    """Per-server Gantt chart: one row per task, in mapping order."""
+
+    server: str
+    rows: Tuple[GanttRow, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def row(self, task_id: str) -> GanttRow:
+        """Row of task ``task_id`` (raises ``KeyError`` if absent)."""
+        for row in self.rows:
+            if row.task_id == task_id:
+                return row
+        raise KeyError(task_id)
+
+    @property
+    def horizon(self) -> float:
+        """Latest completion date on the chart (0 when empty)."""
+        ends = [row.end for row in self.rows if row.end is not None]
+        return max(ends) if ends else 0.0
+
+    def completions(self) -> Dict[str, float]:
+        """Mapping task id → completion date for the finished rows."""
+        return {row.task_id: row.end for row in self.rows if row.end is not None}
+
+    # ------------------------------------------------------------------ #
+    def render(self, width: int = 72, legend: bool = True) -> str:
+        """Render the chart as ASCII art.
+
+        Each row shows the three phases with different fill characters
+        (``.`` input transfer, ``#`` computation, ``:`` output transfer).
+        """
+        horizon = self.horizon
+        if horizon <= 0:
+            return f"[{self.server}] (empty)"
+        scale = (width - 1) / horizon
+        fills = {"input": ".", "compute": "#", "output": ":"}
+        lines = [f"[{self.server}] 0 {'-' * (width - len(str(round(horizon))) - 8)} {horizon:.1f}s"]
+        for row in self.rows:
+            canvas = [" "] * width
+            for phase in row.phases:
+                lo = int(round(phase.start * scale))
+                hi = max(lo + 1, int(round(phase.end * scale)))
+                for i in range(lo, min(hi, width)):
+                    canvas[i] = fills.get(phase.name, "#")
+            label = f"{row.task_id[-12:]:>12}"
+            lines.append(f"{label} |{''.join(canvas)}|")
+        if legend:
+            lines.append("              legend: '.' input transfer, '#' compute, ':' output transfer")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def chart_from_states(
+    server: str,
+    states: Iterable[FluidTaskState],
+    phase_names: Sequence[str] = PHASE_NAMES,
+) -> GanttChart:
+    """Build a :class:`GanttChart` from fluid task states.
+
+    Unfinished stages are omitted (the chart shows what has been simulated so
+    far); callers wanting the *predicted* full chart should run a copy of the
+    network to completion first (the HTM does exactly that).
+    """
+    rows: List[GanttRow] = []
+    for state in sorted(states, key=lambda s: (s.arrival, str(s.key))):
+        phases: List[GanttPhase] = []
+        previous_end = state.start_time if state.start_time is not None else state.arrival
+        for index, finish in enumerate(state.stage_finish_times):
+            name = phase_names[index] if index < len(phase_names) else f"stage{index}"
+            phases.append(GanttPhase(name=name, start=previous_end, end=finish))
+            previous_end = finish
+        rows.append(GanttRow(task_id=str(state.key), arrival=state.arrival, phases=tuple(phases)))
+    return GanttChart(server=server, rows=tuple(rows))

@@ -1,0 +1,93 @@
+"""Scheduling heuristics of the client-agent-server agent.
+
+The four heuristics compared in the paper's experiments are:
+
+* :class:`MctHeuristic` (``"mct"``) — NetSolve's baseline, driven by monitor
+  load reports;
+* :class:`HmctHeuristic` (``"hmct"``) — MCT driven by the Historical Trace
+  Manager (Fig. 2);
+* :class:`MpHeuristic` (``"mp"``) — Minimum Perturbation (Fig. 3);
+* :class:`MsfHeuristic` (``"msf"``) — Minimum Sum Flow (Fig. 4).
+
+Extensions and baselines: :class:`MniHeuristic` (Weissman's MNI),
+:class:`RandomHeuristic`, :class:`RoundRobinHeuristic`,
+:class:`MinLoadHeuristic`, :class:`FastestServerHeuristic`.
+
+Use :func:`create_heuristic` (or :data:`HEURISTIC_REGISTRY`) to instantiate a
+heuristic from its short name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ...errors import SchedulingError
+from .base import Decision, Heuristic, HtmHeuristic, SchedulingContext, ServerInfo
+from .extras import (
+    FastestServerHeuristic,
+    MinLoadHeuristic,
+    RandomHeuristic,
+    RoundRobinHeuristic,
+)
+from .hmct import HmctHeuristic
+from .mct import MctHeuristic
+from .mni import MniHeuristic
+from .mp import MpHeuristic
+from .msf import MsfHeuristic
+
+__all__ = [
+    "Decision",
+    "Heuristic",
+    "HtmHeuristic",
+    "SchedulingContext",
+    "ServerInfo",
+    "MctHeuristic",
+    "HmctHeuristic",
+    "MpHeuristic",
+    "MsfHeuristic",
+    "MniHeuristic",
+    "RandomHeuristic",
+    "RoundRobinHeuristic",
+    "MinLoadHeuristic",
+    "FastestServerHeuristic",
+    "HEURISTIC_REGISTRY",
+    "PAPER_HEURISTICS",
+    "create_heuristic",
+    "available_heuristics",
+]
+
+#: Factories of every available heuristic, keyed by short name.
+HEURISTIC_REGISTRY: Dict[str, Callable[[], Heuristic]] = {
+    MctHeuristic.name: MctHeuristic,
+    HmctHeuristic.name: HmctHeuristic,
+    MpHeuristic.name: MpHeuristic,
+    MsfHeuristic.name: MsfHeuristic,
+    MniHeuristic.name: MniHeuristic,
+    RandomHeuristic.name: RandomHeuristic,
+    RoundRobinHeuristic.name: RoundRobinHeuristic,
+    MinLoadHeuristic.name: MinLoadHeuristic,
+    FastestServerHeuristic.name: FastestServerHeuristic,
+}
+
+#: The four heuristics compared in the paper's tables, in the paper's order.
+PAPER_HEURISTICS = ("mct", "hmct", "mp", "msf")
+
+
+def create_heuristic(name: str, **kwargs) -> Heuristic:
+    """Instantiate the heuristic registered under ``name``.
+
+    Keyword arguments are forwarded to the heuristic constructor (e.g.
+    ``create_heuristic("msf", memory_aware=True, memory_limits=...)``).
+    """
+    try:
+        factory = HEURISTIC_REGISTRY[name]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown heuristic {name!r}; available: {sorted(HEURISTIC_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_heuristics() -> List[str]:
+    """Short names of every registered heuristic."""
+    return sorted(HEURISTIC_REGISTRY)

@@ -1,0 +1,77 @@
+"""Extra baseline heuristics (not from the paper).
+
+These simple policies are useful as sanity baselines in tests, examples and
+ablation benchmarks: if a proposed heuristic does not clearly beat random or
+round-robin mapping on the observed metrics, something is wrong with the
+experiment.  They only use the information the agent has (static costs and
+monitor reports), never the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .base import Decision, Heuristic, SchedulingContext
+
+__all__ = ["RandomHeuristic", "RoundRobinHeuristic", "MinLoadHeuristic", "FastestServerHeuristic"]
+
+
+class RandomHeuristic(Heuristic):
+    """Map every task to a uniformly random live candidate server."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def select(self, context: SchedulingContext) -> Decision:
+        candidates = self._require_candidates(context)
+        index = int(self._rng.integers(0, len(candidates)))
+        chosen = candidates[index]
+        return Decision(server=chosen.name, scores={c.name: 1.0 for c in candidates})
+
+
+class RoundRobinHeuristic(Heuristic):
+    """Cycle through the live candidate servers in name order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def select(self, context: SchedulingContext) -> Decision:
+        candidates = sorted(self._require_candidates(context), key=lambda c: c.name)
+        chosen = candidates[self._counter % len(candidates)]
+        self._counter += 1
+        return Decision(server=chosen.name)
+
+
+class MinLoadHeuristic(Heuristic):
+    """Map each task to the candidate with the lowest (corrected) reported load."""
+
+    name = "min-load"
+
+    def select(self, context: SchedulingContext) -> Decision:
+        candidates = self._require_candidates(context)
+        scores: Dict[str, float] = {c.name: c.corrected_load for c in candidates}
+        chosen = min(candidates, key=lambda c: (c.corrected_load, c.costs.compute_s, c.name))
+        return Decision(server=chosen.name, scores=scores)
+
+
+class FastestServerHeuristic(Heuristic):
+    """Always map to the server with the smallest unloaded cost for the task.
+
+    This is MCT with the load term removed; it exhibits an extreme version of
+    the fast-server pile-up the paper blames MCT for, and is used by the
+    ablation benchmarks as a worst-case reference.
+    """
+
+    name = "fastest"
+
+    def select(self, context: SchedulingContext) -> Decision:
+        candidates = self._require_candidates(context)
+        scores: Dict[str, float] = {c.name: c.costs.total for c in candidates}
+        chosen = min(candidates, key=lambda c: (c.costs.total, c.name))
+        return Decision(server=chosen.name, estimated_completion=context.now + chosen.costs.total, scores=scores)

@@ -1,0 +1,67 @@
+"""The baseline: NetSolve's Minimum Completion Time (MCT).
+
+MCT "tries to map each task to the resource that finishes that task the
+soonest" (Section 1) using the information model of Section 2.2:
+
+* communication time = size of the data / bandwidth + latency — here the
+  measured unloaded transfer costs of the problem (Tables 3 and 4);
+* computation time = task cost / fraction of currently available CPU speed,
+  where the availability derives from the load reported by the server's
+  monitor.
+
+The paper also describes NetSolve's two *load-correction mechanisms*
+(Section 5.3): the agent bumps its view of a server's load when it assigns a
+task to it before the next report arrives, and servers send a message when a
+task finishes.  Both are modelled through
+:attr:`~repro.core.heuristics.base.ServerInfo.pending_correction`.
+
+MCT's flaw — the motivation of the whole paper — is that it assumes the load
+it sees is *constant*: it ignores the remaining durations of the running
+tasks and the perturbation the new task inflicts on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Decision, Heuristic, SchedulingContext, ServerInfo
+
+__all__ = ["MctHeuristic"]
+
+
+class MctHeuristic(Heuristic):
+    """NetSolve's load-report-driven Minimum Completion Time."""
+
+    name = "mct"
+    requires_htm = False
+
+    def __init__(self, use_load_correction: bool = True):
+        #: Whether the two NetSolve load-correction mechanisms are applied.
+        #: Disabling them is an ablation showing the herd effect get worse.
+        self.use_load_correction = use_load_correction
+
+    def estimate_completion(self, info: ServerInfo, now: float) -> float:
+        """MCT's estimate of the completion date of the task on ``info``.
+
+        The server is assumed to keep its current load for the whole duration
+        of the task; the new task gets ``min(1, cpus / (load + 1))`` of a CPU.
+        """
+        load = info.corrected_load if self.use_load_correction else info.reported_load
+        available_fraction = min(1.0, info.cpu_count / (1.0 + max(0.0, load)))
+        communication = info.costs.input_s + info.costs.output_s
+        computation = info.costs.compute_s / available_fraction
+        return now + communication + computation
+
+    def select(self, context: SchedulingContext) -> Decision:
+        candidates = self._require_candidates(context)
+        scores: Dict[str, float] = {}
+        best_name = None
+        best_estimate = float("inf")
+        for info in candidates:
+            estimate = self.estimate_completion(info, context.now)
+            scores[info.name] = estimate
+            if estimate < best_estimate - 1e-12:
+                best_estimate = estimate
+                best_name = info.name
+        assert best_name is not None
+        return Decision(server=best_name, estimated_completion=best_estimate, scores=scores)

@@ -1,0 +1,49 @@
+"""MNI — Minimum Number of Interferences (Weissman, related work).
+
+The paper's Section 6 recalls Weissman's interference paradigm [11] and his
+two heuristics: MTI (equivalent to MSF, implemented in
+:mod:`repro.core.heuristics.msf`) and MNI, which "minimizes the number of
+tasks that experience interference".  MNI is implemented here as an extension
+so the comparison of the related-work discussion can be reproduced: the
+candidate server is the one on which the fewest already-mapped tasks would be
+delayed by the new task, ties being broken on the sum of perturbations and
+then on the completion date of the new task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Decision, HtmHeuristic, SchedulingContext
+
+__all__ = ["MniHeuristic"]
+
+
+class MniHeuristic(HtmHeuristic):
+    """Minimum Number of Interferences (Weissman's MNI)."""
+
+    name = "mni"
+
+    def select(self, context: SchedulingContext) -> Decision:
+        predictions = self._predictions(context)
+        scores: Dict[str, float] = {
+            name: float(prediction.n_perturbed) for name, prediction in predictions.items()
+        }
+        best_name = None
+        best_key = (float("inf"), float("inf"), float("inf"))
+        for info in context.candidate_servers():
+            prediction = predictions[info.name]
+            key = (
+                float(prediction.n_perturbed),
+                prediction.sum_perturbation,
+                prediction.new_task_completion,
+            )
+            if key < best_key:
+                best_key = key
+                best_name = info.name
+        assert best_name is not None
+        return Decision(
+            server=best_name,
+            estimated_completion=predictions[best_name].new_task_completion,
+            scores=scores,
+        )

@@ -1,0 +1,60 @@
+"""MP — Minimum Perturbation (Fig. 3 of the paper).
+
+MP maps the new task to the server minimising the *sum of the perturbations*
+it inflicts on the already-mapped tasks of that server.  "In the case of
+equality, for instance at the beginning, the server that minimizes the
+completion date of the last incoming task is chosen."  MP "aims to provide a
+better quality of service to each task by delaying as less as possible
+already allocated tasks"; its drawback is sub-optimal resource usage — a task
+can be sent to a slow but idle server unnecessarily, which is why MP shows
+the largest max-flow of Table 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import Decision, HtmHeuristic, SchedulingContext
+
+__all__ = ["MpHeuristic"]
+
+#: Two perturbation sums closer than this are considered equal (seconds).
+_TIE_EPSILON = 1e-9
+
+
+class MpHeuristic(HtmHeuristic):
+    """Minimum (sum of) Perturbation."""
+
+    name = "mp"
+
+    def select(self, context: SchedulingContext) -> Decision:
+        predictions = self._predictions(context)
+        scores: Dict[str, float] = {
+            name: prediction.sum_perturbation for name, prediction in predictions.items()
+        }
+        # Minimise the sum of perturbations; break ties — "for instance at the
+        # beginning", when every sum is zero — on the predicted completion
+        # date of the new task, exactly as in Fig. 3.
+        best_name = None
+        best_sum = float("inf")
+        best_completion = float("inf")
+        for info in context.candidate_servers():
+            prediction = predictions[info.name]
+            sum_pert = prediction.sum_perturbation
+            completion = prediction.new_task_completion
+            if sum_pert < best_sum - _TIE_EPSILON:
+                is_better = True
+            elif abs(sum_pert - best_sum) <= _TIE_EPSILON:
+                is_better = completion < best_completion - 1e-12
+            else:
+                is_better = False
+            if is_better:
+                best_sum = sum_pert
+                best_completion = completion
+                best_name = info.name
+        assert best_name is not None
+        return Decision(
+            server=best_name,
+            estimated_completion=best_completion,
+            scores=scores,
+        )

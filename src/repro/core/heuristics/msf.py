@@ -1,0 +1,98 @@
+"""MSF — Minimum Sum Flow (Fig. 4 of the paper, equivalent to Weissman's MTI).
+
+MSF "is a willing attempt to mix the advantages of HMCT and MP": it selects
+the server minimising the *system sum-flow* after the mapping.  Since, for a
+given candidate server, the sum-flow only changes by the perturbations
+inflicted on that server's tasks plus the flow of the new task itself, the
+heuristic only needs to compute
+
+    score(s) = sum_j perturbation_j(s) + (predicted completion on s − now)
+
+and pick the smallest.  The paper finds that MSF "always outperforms MCT"
+and gives the best or near-best value of every observed metric.
+
+An optional memory-aware variant (the paper's first future-work item) skips
+candidate servers whose predicted resident memory would exceed memory + swap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import Decision, HtmHeuristic, SchedulingContext, ServerInfo
+
+__all__ = ["MsfHeuristic"]
+
+
+class MsfHeuristic(HtmHeuristic):
+    """Minimum Sum Flow (a.k.a. Minimum Total Interference)."""
+
+    name = "msf"
+
+    def __init__(self, memory_aware: bool = False, memory_limits: Optional[Dict[str, float]] = None):
+        #: When ``True``, servers whose resident memory would overflow are
+        #: avoided whenever another candidate exists (future-work extension).
+        self.memory_aware = memory_aware
+        #: Mapping server name → memory + swap available to tasks (MB);
+        #: required when ``memory_aware`` is enabled.
+        self.memory_limits = dict(memory_limits or {})
+        #: Running account of the memory the heuristic believes is resident on
+        #: each server (updated through ``notify_*`` callbacks by the agent).
+        self._resident_mb: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # memory bookkeeping used by the memory-aware variant
+    # ------------------------------------------------------------------ #
+    def notify_commit(self, server: str, memory_mb: float) -> None:
+        """Record that a task needing ``memory_mb`` was mapped on ``server``."""
+        self._resident_mb[server] = self._resident_mb.get(server, 0.0) + memory_mb
+
+    def notify_release(self, server: str, memory_mb: float) -> None:
+        """Record that a task needing ``memory_mb`` left ``server``."""
+        self._resident_mb[server] = max(0.0, self._resident_mb.get(server, 0.0) - memory_mb)
+
+    def _memory_ok(self, info: ServerInfo, memory_mb: float) -> bool:
+        if not self.memory_aware:
+            return True
+        limit = self.memory_limits.get(info.name)
+        if limit is None:
+            return True
+        return self._resident_mb.get(info.name, 0.0) + memory_mb <= limit
+
+    # ------------------------------------------------------------------ #
+    def select(self, context: SchedulingContext) -> Decision:
+        predictions = self._predictions(context)
+        scores: Dict[str, float] = {
+            name: prediction.sum_flow_increase for name, prediction in predictions.items()
+        }
+        memory_mb = context.task.problem.memory_mb
+
+        def pick(candidates) -> Optional[str]:
+            best_name = None
+            best_score = float("inf")
+            best_completion = float("inf")
+            for info in candidates:
+                prediction = predictions[info.name]
+                score = prediction.sum_flow_increase
+                completion = prediction.new_task_completion
+                if score < best_score - 1e-9 or (
+                    abs(score - best_score) <= 1e-9 and completion < best_completion - 1e-12
+                ):
+                    best_score = score
+                    best_completion = completion
+                    best_name = info.name
+            return best_name
+
+        candidates = context.candidate_servers()
+        fitting = [info for info in candidates if self._memory_ok(info, memory_mb)]
+        best_name = pick(fitting) if fitting else None
+        if best_name is None:
+            # Either memory awareness filtered everything out or it is off:
+            # fall back to the plain MSF choice among all live candidates.
+            best_name = pick(candidates)
+        assert best_name is not None
+        return Decision(
+            server=best_name,
+            estimated_completion=predictions[best_name].new_task_completion,
+            scores=scores,
+        )

@@ -1,0 +1,310 @@
+"""The Historical Trace Manager (HTM).
+
+The HTM is the paper's central mechanism (Section 2.3): it "stores and keeps
+track of information about each task.  It simulates the execution of tasks on
+resources and is able to predict the completion time of each task assigned to
+a server."  Concretely, for every server it maintains a fluid simulation of
+the tasks mapped there — each task being the sequence *input transfer →
+computation → output transfer* on processor-shared resources — and answers
+two questions:
+
+* *prediction* (:meth:`HistoricalTraceManager.predict`): if the new task were
+  mapped on server *s*, when would it finish, and by how much would every
+  already-mapped task be delayed (the **perturbation**)?
+* *commitment* (:meth:`HistoricalTraceManager.commit`): the agent actually
+  mapped the task; record it so future predictions account for it.
+
+The HTM is deliberately independent from the ground-truth platform: it only
+sees what the agent sees (static problem descriptions and the mapping
+decisions), which is why its predictions can drift when the real servers are
+noisy — exactly the model error measured in Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..errors import SchedulingError
+from ..simulation.fluid import FluidNetwork, FluidStage
+from ..workload.problems import PhaseCosts, ProblemSpec
+from ..workload.tasks import Task
+from .gantt import GanttChart, chart_from_states
+from .records import HtmPrediction, TracedTask
+
+__all__ = ["ServerTrace", "HistoricalTraceManager"]
+
+#: Resource names used inside every server trace.
+_TRACE_RESOURCES = ("net_in", "cpu", "net_out")
+
+#: Type of the callables that give the unloaded costs of a problem on a server.
+CostsProvider = Callable[[ProblemSpec], PhaseCosts]
+
+
+@dataclass
+class ServerTrace:
+    """The HTM's view of one server: mapped tasks and their fluid simulation."""
+
+    server: str
+    costs_provider: CostsProvider
+    cpu_count: int = 1
+    network: FluidNetwork = None  # type: ignore[assignment]
+    tasks: Dict[str, TracedTask] = field(default_factory=dict)
+    next_local_number: int = 1
+
+    def __post_init__(self) -> None:
+        if self.network is None:
+            self.network = FluidNetwork(
+                {"net_in": 1.0, "cpu": float(self.cpu_count), "net_out": 1.0},
+                per_job_caps={"cpu": 1.0},
+            )
+
+    def unfinished_task_ids(self) -> List[str]:
+        """Ids of the tasks the HTM believes are still running on the server."""
+        return [str(key) for key in self.network.unfinished_keys()]
+
+    def predicted_completions(self) -> Dict[str, float]:
+        """Predicted completion date of every unfinished task (what-if free run)."""
+        clone = self.network.copy()
+        completions = clone.run_to_completion()
+        return {
+            str(key): value
+            for key, value in completions.items()
+            if key in set(self.network.unfinished_keys())
+        }
+
+
+class HistoricalTraceManager:
+    """Simulates, per server, the execution of every task the agent mapped.
+
+    Parameters
+    ----------
+    resync_on_completion:
+        When ``True`` (default, and the behaviour of the paper's
+        implementation which receives NetSolve completion messages), a task
+        reported as completed by the platform is removed from the trace at the
+        *actual* completion date, re-anchoring the simulation.  When ``False``
+        the HTM trusts its own simulation only — the ablation studied as the
+        paper's second "future work" item.
+    model_communication:
+        When ``False`` the input/output transfer phases are ignored by the
+        trace (compute-only model) — used by an ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        resync_on_completion: bool = True,
+        model_communication: bool = True,
+    ):
+        self.resync_on_completion = resync_on_completion
+        self.model_communication = model_communication
+        self._traces: Dict[str, ServerTrace] = {}
+        self._placements: Dict[str, str] = {}  # task_id -> server name
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_server(
+        self, server: str, costs_provider: CostsProvider, cpu_count: int = 1
+    ) -> None:
+        """Declare a server and the way to obtain unloaded costs on it.
+
+        ``cpu_count`` mirrors the server's processor count so the trace shares
+        the CPU the same way the real machine does.
+        """
+        if server in self._traces:
+            raise SchedulingError(f"server {server!r} is already registered with the HTM")
+        self._traces[server] = ServerTrace(
+            server=server, costs_provider=costs_provider, cpu_count=cpu_count
+        )
+
+    def unregister_server(self, server: str) -> None:
+        """Forget a server entirely (e.g. it left the middleware)."""
+        trace = self._traces.pop(server, None)
+        if trace is not None:
+            for task_id in list(self._placements):
+                if self._placements[task_id] == server:
+                    del self._placements[task_id]
+
+    def servers(self) -> List[str]:
+        """Names of the registered servers."""
+        return list(self._traces)
+
+    def has_server(self, server: str) -> bool:
+        """Whether ``server`` is known to the HTM."""
+        return server in self._traces
+
+    def trace(self, server: str) -> ServerTrace:
+        """The trace of ``server`` (raises :class:`SchedulingError` if unknown)."""
+        try:
+            return self._traces[server]
+        except KeyError:
+            raise SchedulingError(f"server {server!r} is not registered with the HTM") from None
+
+    # ------------------------------------------------------------------ #
+    # the two HTM operations: predict and commit
+    # ------------------------------------------------------------------ #
+    def predict(self, server: str, task: Task, now: float) -> HtmPrediction:
+        """Simulate the mapping of ``task`` on ``server`` at date ``now``.
+
+        Returns the prediction used by the heuristics of Section 4: the
+        completion date of the new task and the perturbation it inflicts on
+        every already-mapped, unfinished task of that server.
+        """
+        trace = self.trace(server)
+        trace.network.advance_to(now)
+        unfinished = set(trace.network.unfinished_keys())
+
+        without = trace.network.copy()
+        completions_without = {
+            str(k): v for k, v in without.run_to_completion().items() if k in unfinished
+        }
+
+        with_new = trace.network.copy()
+        with_new.add_task(task.task_id, arrival=now, stages=self._stages_for(trace, task), now=now)
+        completions_with_all = with_new.run_to_completion()
+        completions_with = {
+            str(k): v for k, v in completions_with_all.items() if k in unfinished
+        }
+        new_completion = completions_with_all[task.task_id]
+
+        perturbations = {
+            task_id: completions_with[task_id] - completions_without[task_id]
+            for task_id in completions_without
+            if task_id in completions_with
+        }
+        return HtmPrediction(
+            server=server,
+            task_id=task.task_id,
+            now=now,
+            new_task_completion=new_completion,
+            completions_without=completions_without,
+            completions_with=completions_with,
+            perturbations=perturbations,
+        )
+
+    def predict_all(self, servers: Iterable[str], task: Task, now: float) -> Dict[str, HtmPrediction]:
+        """Predictions for every candidate server (convenience for heuristics)."""
+        return {server: self.predict(server, task, now) for server in servers}
+
+    def commit(self, server: str, task: Task, now: float) -> TracedTask:
+        """Record that the agent mapped ``task`` on ``server`` at date ``now``."""
+        trace = self.trace(server)
+        if task.task_id in self._placements:
+            raise SchedulingError(f"task {task.task_id!r} is already tracked by the HTM")
+        costs = trace.costs_provider(task.problem)
+        record = TracedTask(
+            task_id=task.task_id,
+            server=server,
+            mapped_at=now,
+            input_s=costs.input_s if self.model_communication else 0.0,
+            compute_s=costs.compute_s,
+            output_s=costs.output_s if self.model_communication else 0.0,
+            local_number=trace.next_local_number,
+        )
+        trace.next_local_number += 1
+        trace.tasks[task.task_id] = record
+        trace.network.add_task(task.task_id, arrival=now, stages=self._stages_for(trace, task), now=now)
+        self._placements[task.task_id] = server
+        return record
+
+    # ------------------------------------------------------------------ #
+    # synchronisation with the real platform
+    # ------------------------------------------------------------------ #
+    def notify_completion(self, task_id: str, at: float) -> None:
+        """The platform reported that ``task_id`` completed at date ``at``."""
+        server = self._placements.pop(task_id, None)
+        if server is None:
+            return
+        trace = self._traces.get(server)
+        if trace is None:
+            return
+        if not self.resync_on_completion:
+            return
+        trace.network.advance_to(at)
+        if task_id in trace.network:
+            state = trace.network.task(task_id)
+            if state.finished:
+                trace.network.forget(task_id)
+            else:
+                # The real task finished earlier than simulated: re-anchor.
+                trace.network.remove_task(task_id, at)
+
+    def notify_failure(self, task_id: str, at: float) -> None:
+        """The platform reported that ``task_id`` failed (collapse, rejection...)."""
+        server = self._placements.pop(task_id, None)
+        if server is None:
+            return
+        trace = self._traces.get(server)
+        if trace is None:
+            return
+        trace.network.advance_to(at)
+        if task_id in trace.network:
+            state = trace.network.task(task_id)
+            if state.finished:
+                trace.network.forget(task_id)
+            else:
+                trace.network.remove_task(task_id, at)
+
+    def clear_server(self, server: str, at: float) -> None:
+        """Drop every unfinished task of a server (it collapsed)."""
+        trace = self._traces.get(server)
+        if trace is None:
+            return
+        trace.network.advance_to(at)
+        for task_id in list(trace.network.unfinished_keys()):
+            trace.network.remove_task(task_id, at)
+            self._placements.pop(str(task_id), None)
+
+    def advance_to(self, now: float) -> None:
+        """Advance every server trace to date ``now``."""
+        for trace in self._traces.values():
+            trace.network.advance_to(now)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def placement_of(self, task_id: str) -> Optional[str]:
+        """Server the HTM believes ``task_id`` is (still) mapped on."""
+        return self._placements.get(task_id)
+
+    def tracked_task_count(self, server: Optional[str] = None) -> int:
+        """Number of unfinished tasks tracked, overall or for one server."""
+        if server is not None:
+            return len(self.trace(server).unfinished_task_ids())
+        return sum(len(t.unfinished_task_ids()) for t in self._traces.values())
+
+    def predicted_completions(self, server: str) -> Dict[str, float]:
+        """Predicted completion dates of the unfinished tasks of ``server``."""
+        return self.trace(server).predicted_completions()
+
+    def gantt(self, server: str, until_completion: bool = True) -> GanttChart:
+        """Gantt chart of a server trace.
+
+        With ``until_completion`` (default) the chart shows the *predicted*
+        full execution (a copy of the trace is run to completion first);
+        otherwise it shows only what has been simulated so far.
+        """
+        trace = self.trace(server)
+        network = trace.network.copy()
+        if until_completion:
+            network.run_to_completion()
+        return chart_from_states(server, network.tasks())
+
+    # ------------------------------------------------------------------ #
+    def _stages_for(self, trace: ServerTrace, task: Task) -> List[FluidStage]:
+        costs = trace.costs_provider(task.problem)
+        if self.model_communication:
+            return [
+                FluidStage("net_in", costs.input_s),
+                FluidStage("cpu", costs.compute_s),
+                FluidStage("net_out", costs.output_s),
+            ]
+        return [FluidStage("cpu", costs.compute_s)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<HistoricalTraceManager servers={len(self._traces)} "
+            f"tracked_tasks={len(self._placements)}>"
+        )

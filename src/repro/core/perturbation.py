@@ -1,0 +1,94 @@
+"""Perturbation analysis helpers.
+
+The *perturbation* of a new task on an already-mapped task *j* is the delay
+``pi'_j - pi_j`` that mapping the new task inflicts on *j* (Section 2.4).
+The per-candidate values live in :class:`~repro.core.records.HtmPrediction`;
+this module adds small helpers to compare candidates side by side, which the
+heuristics use for their decisions and the examples use for display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .records import HtmPrediction
+
+__all__ = ["CandidateSummary", "PerturbationReport"]
+
+
+@dataclass(frozen=True)
+class CandidateSummary:
+    """Aggregated view of one candidate server for one scheduling decision."""
+
+    server: str
+    new_task_completion: float
+    predicted_flow: float
+    sum_perturbation: float
+    n_perturbed: int
+    sum_flow_increase: float
+
+    @classmethod
+    def from_prediction(cls, prediction: HtmPrediction) -> "CandidateSummary":
+        """Build the summary of one HTM prediction."""
+        return cls(
+            server=prediction.server,
+            new_task_completion=prediction.new_task_completion,
+            predicted_flow=prediction.predicted_flow,
+            sum_perturbation=prediction.sum_perturbation,
+            n_perturbed=prediction.n_perturbed,
+            sum_flow_increase=prediction.sum_flow_increase,
+        )
+
+
+@dataclass(frozen=True)
+class PerturbationReport:
+    """Side-by-side comparison of every candidate server for one decision."""
+
+    task_id: str
+    now: float
+    candidates: Tuple[CandidateSummary, ...]
+
+    @classmethod
+    def from_predictions(
+        cls, predictions: Mapping[str, HtmPrediction], task_id: str, now: float
+    ) -> "PerturbationReport":
+        """Build a report from the per-server predictions of the HTM."""
+        summaries = tuple(
+            CandidateSummary.from_prediction(predictions[name]) for name in sorted(predictions)
+        )
+        return cls(task_id=task_id, now=now, candidates=summaries)
+
+    def best_by(self, attribute: str) -> CandidateSummary:
+        """Candidate minimising ``attribute`` (ties broken by completion date)."""
+        if not self.candidates:
+            raise ValueError("the report has no candidate")
+        return min(
+            self.candidates,
+            key=lambda c: (getattr(c, attribute), c.new_task_completion, c.server),
+        )
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for tabular display (one per candidate)."""
+        return [
+            {
+                "server": c.server,
+                "completion": round(c.new_task_completion, 3),
+                "flow": round(c.predicted_flow, 3),
+                "sum_perturbation": round(c.sum_perturbation, 3),
+                "n_perturbed": c.n_perturbed,
+                "sum_flow_increase": round(c.sum_flow_increase, 3),
+            }
+            for c in self.candidates
+        ]
+
+    def render(self) -> str:
+        """Human-readable table of the candidates."""
+        header = f"{'server':>12} {'completion':>12} {'flow':>10} {'sum pert.':>10} {'#pert':>6} {'ΔsumFlow':>10}"
+        lines = [f"candidates for {self.task_id} at t={self.now:.2f}", header]
+        for c in self.candidates:
+            lines.append(
+                f"{c.server:>12} {c.new_task_completion:>12.2f} {c.predicted_flow:>10.2f} "
+                f"{c.sum_perturbation:>10.2f} {c.n_perturbed:>6d} {c.sum_flow_increase:>10.2f}"
+            )
+        return "\n".join(lines)

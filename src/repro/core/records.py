@@ -1,0 +1,109 @@
+"""Record types shared by the HTM, the Gantt charts and the heuristics.
+
+The paper's notation (Section 2.4) is kept where practical: a task mapped on
+server *k* has an arrival date ``a``, an unloaded duration ``rho`` and a
+(real or simulated) completion date ``R``; before mapping a new task the HTM
+predicts finish dates ``pi_j`` and, with the new task, ``pi'_j``; the
+perturbation of the new task on task *j* is ``pi'_j - pi_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["PHASE_NAMES", "TracedTask", "HtmPrediction"]
+
+#: Names of the three phases of a task, in execution order (Fig. 1).
+PHASE_NAMES: Tuple[str, str, str] = ("input", "compute", "output")
+
+
+@dataclass
+class TracedTask:
+    """Static information the HTM keeps about one mapped task.
+
+    Parameters
+    ----------
+    task_id:
+        Identifier of the task (matches :class:`repro.workload.tasks.Task`).
+    server:
+        Server the task was mapped on.
+    mapped_at:
+        Date at which the agent mapped the task (``a`` in the paper: in the
+        client-agent-server model the input transfer starts right away).
+    input_s / compute_s / output_s:
+        Unloaded durations of the three phases on that server.
+    local_number:
+        The task's local number on the server (Section 2.4): the *j*-th task
+        ever mapped on the server gets local number *j*.
+    """
+
+    task_id: str
+    server: str
+    mapped_at: float
+    input_s: float
+    compute_s: float
+    output_s: float
+    local_number: int
+
+    @property
+    def unloaded_duration(self) -> float:
+        """Duration of the task alone on its server (``rho``)."""
+        return self.input_s + self.compute_s + self.output_s
+
+
+@dataclass(frozen=True)
+class HtmPrediction:
+    """Result of asking the HTM "what if the new task were mapped on server s?".
+
+    Attributes
+    ----------
+    server:
+        Candidate server.
+    task_id:
+        Identifier of the new (not yet mapped) task.
+    now:
+        Date of the prediction.
+    new_task_completion:
+        Predicted completion date of the new task on that server
+        (``pi'_{n+1}`` in the paper).
+    completions_without:
+        Predicted completion date of every already-mapped, unfinished task
+        *without* the new task (``pi_j``).
+    completions_with:
+        Same, *with* the new task (``pi'_j``).
+    perturbations:
+        ``pi'_j - pi_j`` for every already-mapped, unfinished task.
+    """
+
+    server: str
+    task_id: str
+    now: float
+    new_task_completion: float
+    completions_without: Mapping[str, float] = field(default_factory=dict)
+    completions_with: Mapping[str, float] = field(default_factory=dict)
+    perturbations: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def sum_perturbation(self) -> float:
+        """Sum of the perturbations on the already-mapped tasks (MP's objective)."""
+        return float(sum(self.perturbations.values()))
+
+    @property
+    def n_perturbed(self) -> int:
+        """Number of already-mapped tasks whose completion is delayed (MNI's objective)."""
+        return sum(1 for p in self.perturbations.values() if p > 1e-9)
+
+    @property
+    def predicted_flow(self) -> float:
+        """Predicted flow of the new task (completion − mapping date)."""
+        return self.new_task_completion - self.now
+
+    @property
+    def sum_flow_increase(self) -> float:
+        """MSF's objective: sum of perturbations plus the new task's flow."""
+        return self.sum_perturbation + self.predicted_flow
+
+    def perturbation_of(self, task_id: str) -> float:
+        """Perturbation inflicted on one specific already-mapped task."""
+        return float(self.perturbations.get(task_id, 0.0))

@@ -1,0 +1,117 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by the library derives from :class:`ReproError`
+so that callers can catch library failures without swallowing genuine bugs
+(``TypeError``, ``KeyError`` ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "EmptySchedule",
+    "StopProcess",
+    "PlatformError",
+    "ServerCollapsed",
+    "TaskRejected",
+    "SchedulingError",
+    "NoCandidateServer",
+    "WorkloadError",
+    "UnknownProblem",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+# --------------------------------------------------------------------------- #
+# Simulation engine
+# --------------------------------------------------------------------------- #
+class SimulationError(ReproError):
+    """Error raised by the discrete-event simulation engine."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`repro.simulation.Environment.step` when no event is left."""
+
+
+class StopProcess(SimulationError):
+    """Raised inside a process generator to terminate it with a return value."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+# --------------------------------------------------------------------------- #
+# Platform / middleware
+# --------------------------------------------------------------------------- #
+class PlatformError(ReproError):
+    """Error raised by the platform (servers, links, agent, clients) model."""
+
+
+class ServerCollapsed(PlatformError):
+    """A server exhausted its memory + swap and collapsed.
+
+    All tasks resident on the server at collapse time fail with this error as
+    their failure cause.
+    """
+
+    def __init__(self, server_name: str, at: float, resident_mb: float):
+        super().__init__(
+            f"server {server_name!r} collapsed at t={at:.2f}s "
+            f"(resident memory {resident_mb:.1f} MB)"
+        )
+        self.server_name = server_name
+        self.at = at
+        self.resident_mb = resident_mb
+
+
+class TaskRejected(PlatformError):
+    """A server refused to accept a new task (typically for lack of memory)."""
+
+    def __init__(self, server_name: str, task_id: str, reason: str):
+        super().__init__(f"server {server_name!r} rejected task {task_id!r}: {reason}")
+        self.server_name = server_name
+        self.task_id = task_id
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling
+# --------------------------------------------------------------------------- #
+class SchedulingError(ReproError):
+    """Error raised by the agent or by a scheduling heuristic."""
+
+
+class NoCandidateServer(SchedulingError):
+    """No registered server is able to solve the requested problem."""
+
+    def __init__(self, problem_name: str):
+        super().__init__(f"no registered server can solve problem {problem_name!r}")
+        self.problem_name = problem_name
+
+
+# --------------------------------------------------------------------------- #
+# Workload
+# --------------------------------------------------------------------------- #
+class WorkloadError(ReproError):
+    """Error raised by the workload generators."""
+
+
+class UnknownProblem(WorkloadError):
+    """The requested problem name is not part of the problem catalogue."""
+
+    def __init__(self, problem_name: str):
+        super().__init__(f"unknown problem {problem_name!r}")
+        self.problem_name = problem_name
+
+
+# --------------------------------------------------------------------------- #
+# Experiments
+# --------------------------------------------------------------------------- #
+class ExperimentError(ReproError):
+    """Error raised by the experiment harness."""

@@ -1,0 +1,101 @@
+"""Experiment configuration.
+
+The paper's evaluation (Section 5) fixes a handful of protocol parameters
+that this module centralises:
+
+* 500-task metatasks;
+* two Poisson arrival rates per experiment set.  The scanned PDF does not
+  show the numeric means; they are inferred here (see EXPERIMENTS.md) from
+  the published makespans — roughly ``500 × 20 s ≈ 10 000 s`` for the "low
+  rate" tables (5 and 7) and ``500 × 15 s ≈ 7 600 s`` for the "high rate"
+  tables (6 and 8) — and from the stability limit of the aggregate service
+  capacity of each server set;
+* the heuristics compared: NetSolve's MCT and the three HTM heuristics.
+
+:class:`ExperimentScale` lets tests and the quickstart run the very same
+experiments at a fraction of the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..platform.middleware import MiddlewareConfig
+
+__all__ = [
+    "TASKS_PER_METATASK",
+    "LOW_RATE_MEAN_S",
+    "HIGH_RATE_MEAN_S",
+    "PAPER_HEURISTIC_ORDER",
+    "ExperimentScale",
+    "ExperimentConfig",
+    "FULL_SCALE",
+    "SMOKE_SCALE",
+    "BENCH_SCALE",
+]
+
+#: Number of tasks per metatask in the paper's experiments.
+TASKS_PER_METATASK = 500
+
+#: Mean inter-arrival time of the "low rate" experiments (Tables 5 and 7).
+LOW_RATE_MEAN_S = 20.0
+
+#: Mean inter-arrival time of the "high rate" experiments (Tables 6 and 8).
+HIGH_RATE_MEAN_S = 15.0
+
+#: Column order used by every reproduced table.
+PAPER_HEURISTIC_ORDER: Tuple[str, ...] = ("mct", "hmct", "mp", "msf")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs of an experiment (full paper scale vs. quick smoke runs)."""
+
+    name: str
+    #: Number of tasks per metatask.
+    task_count: int = TASKS_PER_METATASK
+    #: Number of distinct metatasks (second experiment set uses 3).
+    metatask_count: int = 3
+    #: Number of repeated executions per (metatask, heuristic) pair.
+    repetitions: int = 1
+
+    def scaled(self, factor: float) -> "ExperimentScale":
+        """Return a scale with the task count multiplied by ``factor``."""
+        return replace(self, task_count=max(1, int(self.task_count * factor)))
+
+
+#: The paper's scale: 500-task metatasks.
+FULL_SCALE = ExperimentScale(name="full", task_count=TASKS_PER_METATASK, metatask_count=3, repetitions=1)
+
+#: A fast scale for unit/integration tests (seconds, not minutes).
+SMOKE_SCALE = ExperimentScale(name="smoke", task_count=60, metatask_count=2, repetitions=1)
+
+#: The scale used by the benchmark harness (a compromise between fidelity and
+#: wall-clock time of `pytest benchmarks/`).
+BENCH_SCALE = ExperimentScale(name="bench", task_count=200, metatask_count=2, repetitions=1)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to run one of the paper's experiments."""
+
+    scale: ExperimentScale = FULL_SCALE
+    seed: int = 2003
+    low_rate_s: float = LOW_RATE_MEAN_S
+    high_rate_s: float = HIGH_RATE_MEAN_S
+    heuristics: Tuple[str, ...] = PAPER_HEURISTIC_ORDER
+    reference: str = "mct"
+    middleware: MiddlewareConfig = MiddlewareConfig()
+
+    def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
+        """Return a copy using a different scale."""
+        return replace(self, scale=scale)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Return a copy using a different root seed."""
+        return replace(self, seed=seed)
+
+    def middleware_for(self, heuristic: str, seed_offset: int = 0) -> MiddlewareConfig:
+        """Middleware configuration for a given heuristic run."""
+        return replace(self.middleware, seed=self.seed + seed_offset)

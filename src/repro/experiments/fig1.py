@@ -1,0 +1,132 @@
+"""The "usefulness of the HTM" scenario (Section 2.3 and Fig. 1).
+
+Two identical servers each execute one task submitted at time 0; the tasks
+have different durations.  At time 80 a third task arrives.  Without the HTM
+the agent only knows that both servers carry the same load and cannot tell
+them apart; with the HTM it knows the *remaining* durations and maps the new
+task on the server that will free up first, yielding a strictly shorter
+completion time.
+
+:func:`run_fig1` reproduces the scenario and returns the HTM's view: the
+Gantt chart of each server before and after the hypothetical mapping, the
+predicted completion dates, and the decision HMCT takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.gantt import GanttChart, chart_from_states
+from ..core.htm import HistoricalTraceManager
+from ..core.records import HtmPrediction
+from ..workload.problems import PhaseCosts, ProblemSpec
+from ..workload.tasks import Task
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+
+def _problem(name: str, compute_s: float) -> ProblemSpec:
+    """A compute-only problem with identical cost on both servers."""
+    return ProblemSpec(
+        name=name,
+        family="fig1",
+        parameter=int(compute_s),
+        input_mb=0.0,
+        output_mb=0.0,
+        compute_mflop=compute_s,
+        server_costs={
+            "server-1": PhaseCosts(0.0, compute_s, 0.0),
+            "server-2": PhaseCosts(0.0, compute_s, 0.0),
+        },
+    )
+
+
+@dataclass
+class Fig1Result:
+    """Outcome of the Fig. 1 scenario."""
+
+    #: Remaining durations of T1 and T2 at the arrival of the new task.
+    remaining: Dict[str, float]
+    #: HTM predictions of mapping the new task on each server.
+    predictions: Dict[str, HtmPrediction]
+    #: Server chosen by HMCT (minimum predicted completion date).
+    chosen_server: str
+    #: Gantt charts of each server *with* the new task mapped on it.
+    charts: Dict[str, GanttChart]
+
+    def render(self) -> str:
+        """Textual reproduction of the figure: both candidate Gantt charts."""
+        lines = [
+            "Fig. 1 scenario — two identical servers, a third task arrives at t=80",
+            f"remaining durations at t=80: {self.remaining}",
+            "",
+        ]
+        for server in sorted(self.charts):
+            prediction = self.predictions[server]
+            lines.append(
+                f"--- if task3 were mapped on {server} "
+                f"(predicted completion {prediction.new_task_completion:.1f}s, "
+                f"sum of perturbations {prediction.sum_perturbation:.1f}s) ---"
+            )
+            lines.append(self.charts[server].render())
+            lines.append("")
+        lines.append(f"HMCT decision: map task3 on {self.chosen_server}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_fig1(
+    duration_t1: float = 100.0,
+    duration_t2: float = 200.0,
+    duration_t3: float = 100.0,
+    arrival_t3: float = 80.0,
+) -> Fig1Result:
+    """Run the Fig. 1 scenario with the given (compute-only) durations."""
+    htm = HistoricalTraceManager()
+    problems = {
+        "t1": _problem("fig1-t1", duration_t1),
+        "t2": _problem("fig1-t2", duration_t2),
+        "t3": _problem("fig1-t3", duration_t3),
+    }
+    for server in ("server-1", "server-2"):
+        htm.register_server(server, lambda p, s=server: p.costs_on(s))
+
+    task1 = Task(task_id="task1", problem=problems["t1"], arrival=0.0)
+    task2 = Task(task_id="task2", problem=problems["t2"], arrival=0.0)
+    task3 = Task(task_id="task3", problem=problems["t3"], arrival=arrival_t3)
+
+    htm.commit("server-1", task1, now=0.0)
+    htm.commit("server-2", task2, now=0.0)
+
+    htm.advance_to(arrival_t3)
+    remaining = {
+        "server-1 (task1)": max(0.0, duration_t1 - arrival_t3),
+        "server-2 (task2)": max(0.0, duration_t2 - arrival_t3),
+    }
+
+    predictions = {
+        server: htm.predict(server, task3, arrival_t3) for server in ("server-1", "server-2")
+    }
+    chosen = min(predictions.values(), key=lambda p: p.new_task_completion).server
+
+    charts: Dict[str, GanttChart] = {}
+    for server, prediction in predictions.items():
+        clone = htm.trace(server).network.copy()
+        clone.add_task(
+            "task3",
+            arrival=arrival_t3,
+            stages=htm._stages_for(htm.trace(server), task3),
+            now=arrival_t3,
+        )
+        clone.run_to_completion()
+        charts[server] = chart_from_states(server, clone.tasks())
+
+    return Fig1Result(
+        remaining=remaining,
+        predictions=predictions,
+        chosen_server=chosen,
+        charts=charts,
+    )

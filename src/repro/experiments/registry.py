@@ -1,0 +1,148 @@
+"""Registry of the reproducible experiments.
+
+Maps every table / figure of the paper (and every ablation) to the callable
+that regenerates it, so the CLI, the benchmarks and EXPERIMENTS.md all pull
+from a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ExperimentError
+from .ablations import (
+    ablation_arrival_rate_sweep,
+    ablation_communication_model,
+    ablation_dual_cpu,
+    ablation_htm_resync,
+    ablation_memory_aware_msf,
+    ablation_monitor_period,
+)
+from .config import ExperimentConfig
+from .fig1 import run_fig1
+from .set1 import run_table5, run_table6
+from .set2 import run_table7, run_table8
+from .validation import run_table1
+
+__all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "run_experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible experiment."""
+
+    experiment_id: str
+    description: str
+    #: Paper artefact the experiment corresponds to (table / figure number).
+    paper_artefact: str
+    runner: Callable
+    #: Whether the runner accepts an :class:`ExperimentConfig` argument.
+    accepts_config: bool = True
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    "table1": ExperimentEntry(
+        "table1",
+        "Validation of the 1/n shared-CPU model: real vs HTM-simulated completion dates",
+        "Table 1",
+        lambda config=None: run_table1(),
+        accepts_config=False,
+    ),
+    "fig1": ExperimentEntry(
+        "fig1",
+        "Usefulness of the HTM: Gantt charts of the two-server / three-task scenario",
+        "Figure 1 / Section 2.3",
+        lambda config=None: run_fig1(),
+        accepts_config=False,
+    ),
+    "table5": ExperimentEntry(
+        "table5",
+        "Matrix multiplications at the low arrival rate",
+        "Table 5",
+        run_table5,
+    ),
+    "table6": ExperimentEntry(
+        "table6",
+        "Matrix multiplications at the high arrival rate (memory collapses)",
+        "Table 6",
+        run_table6,
+    ),
+    "table7": ExperimentEntry(
+        "table7",
+        "waste-cpu tasks at the low arrival rate (3 metatasks, means)",
+        "Table 7",
+        run_table7,
+    ),
+    "table8": ExperimentEntry(
+        "table8",
+        "waste-cpu tasks at the high arrival rate (3 metatasks, means)",
+        "Table 8",
+        run_table8,
+    ),
+    "ablation-monitor-period": ExperimentEntry(
+        "ablation-monitor-period",
+        "Stale load reports: MCT vs MSF across monitor periods",
+        "design choice (Section 2.2)",
+        ablation_monitor_period,
+        accepts_config=False,
+    ),
+    "ablation-htm-resync": ExperimentEntry(
+        "ablation-htm-resync",
+        "HTM re-anchoring on completion messages on/off",
+        "future work #2 (Section 7)",
+        ablation_htm_resync,
+        accepts_config=False,
+    ),
+    "ablation-memory-aware-msf": ExperimentEntry(
+        "ablation-memory-aware-msf",
+        "Memory-aware MSF vs plain MSF / HMCT under memory pressure",
+        "future work #1 (Section 7)",
+        ablation_memory_aware_msf,
+        accepts_config=False,
+    ),
+    "ablation-communication-model": ExperimentEntry(
+        "ablation-communication-model",
+        "HTM with / without data-transfer phases",
+        "model choice (Section 2.3)",
+        ablation_communication_model,
+        accepts_config=False,
+    ),
+    "ablation-dual-cpu": ExperimentEntry(
+        "ablation-dual-cpu",
+        "Single-CPU vs dual-CPU Xeon servers (Table 2 ambiguity)",
+        "testbed hypothesis (Table 2)",
+        ablation_dual_cpu,
+        accepts_config=False,
+    ),
+    "ablation-arrival-rate-sweep": ExperimentEntry(
+        "ablation-arrival-rate-sweep",
+        "Sum-flow of every heuristic across arrival rates",
+        "Section 5.3 discussion",
+        ablation_arrival_rate_sweep,
+        accepts_config=False,
+    ),
+}
+
+
+def experiment_ids() -> List[str]:
+    """Identifiers of every registered experiment."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look an experiment up by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, config: Optional[ExperimentConfig] = None):
+    """Run one experiment by id, optionally at a custom scale."""
+    entry = get_experiment(experiment_id)
+    if entry.accepts_config:
+        return entry.runner(config)
+    return entry.runner()

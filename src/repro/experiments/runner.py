@@ -1,0 +1,189 @@
+"""Experiment runner.
+
+Runs one or several heuristics on one or several metatasks over a given
+platform, and assembles the per-heuristic columns of the paper's result
+tables: number of completed tasks, makespan, sum-flow, max-flow, max-stretch
+and the number of tasks that finish sooner than under NetSolve's MCT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.heuristics import Heuristic, create_heuristic
+from ..metrics.aggregate import aggregate_values
+from ..metrics.comparison import PairwiseComparison, tasks_finishing_sooner
+from ..metrics.flow import MetricSummary, summarize
+from ..metrics.report import render_markdown_table, render_table
+from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
+from ..platform.spec import PlatformSpec
+from ..workload.metatask import Metatask
+from ..workload.problems import PAPER_CATALOGUE, ProblemCatalogue
+from .config import ExperimentConfig, PAPER_HEURISTIC_ORDER
+
+__all__ = ["HeuristicOutcome", "TableResult", "run_single", "run_table_experiment", "TABLE_ROW_ORDER"]
+
+#: Row order mirroring the layout of Tables 5–8.
+TABLE_ROW_ORDER = (
+    "completed tasks",
+    "makespan",
+    "sumflow",
+    "maxflow",
+    "maxstretch",
+    "tasks finishing sooner than MCT",
+)
+
+
+@dataclass
+class HeuristicOutcome:
+    """Everything recorded for one heuristic across the runs of an experiment."""
+
+    heuristic: str
+    runs: List[RunResult] = field(default_factory=list)
+    summaries: List[MetricSummary] = field(default_factory=list)
+    comparisons: List[PairwiseComparison] = field(default_factory=list)
+
+    def mean_metric(self, name: str) -> float:
+        """Mean of one :class:`MetricSummary` field across runs."""
+        return aggregate_values(getattr(s, name) for s in self.summaries).mean
+
+    @property
+    def mean_sooner(self) -> Optional[float]:
+        """Mean count of tasks finishing sooner than the reference, if compared."""
+        if not self.comparisons:
+            return None
+        return aggregate_values(c.sooner for c in self.comparisons).mean
+
+
+@dataclass
+class TableResult:
+    """The reproduction of one table of the paper."""
+
+    experiment_id: str
+    title: str
+    columns: Dict[str, Dict[str, float]]
+    outcomes: Dict[str, HeuristicOutcome]
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, heuristic: str) -> Dict[str, float]:
+        """The column (metric → value) of one heuristic."""
+        return self.columns[heuristic]
+
+    def value(self, heuristic: str, row: str) -> float:
+        """One cell of the table."""
+        return self.columns[heuristic][row]
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (same layout as the paper's tables)."""
+        text = render_table(
+            self.columns,
+            title=self.title,
+            column_order=[h for h in PAPER_HEURISTIC_ORDER if h in self.columns],
+            row_order=[r for r in TABLE_ROW_ORDER if any(r in c for c in self.columns.values())],
+        )
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def render_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md."""
+        return render_markdown_table(
+            self.columns,
+            column_order=[h for h in PAPER_HEURISTIC_ORDER if h in self.columns],
+            row_order=[r for r in TABLE_ROW_ORDER if any(r in c for c in self.columns.values())],
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_single(
+    platform: PlatformSpec,
+    metatask: Metatask,
+    heuristic: Union[str, Heuristic],
+    middleware_config: Optional[MiddlewareConfig] = None,
+    catalogue: ProblemCatalogue = PAPER_CATALOGUE,
+) -> RunResult:
+    """Run one heuristic once on one metatask (fresh middleware instance)."""
+    middleware = GridMiddleware(
+        platform=platform,
+        heuristic=heuristic,
+        catalogue=catalogue,
+        config=middleware_config,
+    )
+    return middleware.run(metatask)
+
+
+def run_table_experiment(
+    experiment_id: str,
+    title: str,
+    platform: PlatformSpec,
+    metatasks: Sequence[Metatask],
+    config: ExperimentConfig,
+    catalogue: ProblemCatalogue = PAPER_CATALOGUE,
+    heuristic_factories: Optional[Mapping[str, Heuristic]] = None,
+    notes: Optional[List[str]] = None,
+) -> TableResult:
+    """Reproduce one results table.
+
+    Every heuristic of ``config.heuristics`` is run on every metatask
+    (``config.scale.repetitions`` times, varying the middleware seed).  The
+    reference heuristic (MCT) is run first so "tasks finishing sooner" can be
+    computed per metatask against the matching reference run.
+    """
+    heuristics: List[str] = list(config.heuristics)
+    if config.reference in heuristics:
+        heuristics.remove(config.reference)
+        heuristics.insert(0, config.reference)
+
+    outcomes: Dict[str, HeuristicOutcome] = {name: HeuristicOutcome(name) for name in heuristics}
+    reference_runs: Dict[Tuple[int, int], RunResult] = {}
+
+    for heuristic_name in heuristics:
+        for metatask_index, metatask in enumerate(metatasks):
+            for repetition in range(config.scale.repetitions):
+                seed_offset = metatask_index * 1000 + repetition
+                middleware_config = config.middleware_for(heuristic_name, seed_offset)
+                heuristic: Union[str, Heuristic]
+                if heuristic_factories and heuristic_name in heuristic_factories:
+                    heuristic = heuristic_factories[heuristic_name]
+                else:
+                    heuristic = create_heuristic(heuristic_name)
+                run = run_single(platform, metatask, heuristic, middleware_config, catalogue)
+                outcome = outcomes[heuristic_name]
+                outcome.runs.append(run)
+                outcome.summaries.append(summarize(run.tasks, heuristic_name))
+                key = (metatask_index, repetition)
+                if heuristic_name == config.reference:
+                    reference_runs[key] = run
+                elif key in reference_runs:
+                    outcome.comparisons.append(
+                        tasks_finishing_sooner(
+                            run.tasks,
+                            reference_runs[key].tasks,
+                            heuristic_name,
+                            config.reference,
+                        )
+                    )
+
+    columns: Dict[str, Dict[str, float]] = {}
+    for name, outcome in outcomes.items():
+        column: Dict[str, float] = {
+            "completed tasks": outcome.mean_metric("n_completed"),
+            "makespan": outcome.mean_metric("makespan"),
+            "sumflow": outcome.mean_metric("sum_flow"),
+            "maxflow": outcome.mean_metric("max_flow"),
+            "maxstretch": outcome.mean_metric("max_stretch"),
+        }
+        if name != config.reference and outcome.mean_sooner is not None:
+            column["tasks finishing sooner than MCT"] = outcome.mean_sooner
+        columns[name] = column
+
+    return TableResult(
+        experiment_id=experiment_id,
+        title=title,
+        columns=columns,
+        outcomes=outcomes,
+        notes=list(notes or []),
+    )

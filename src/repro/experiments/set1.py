@@ -1,0 +1,76 @@
+"""First experiment set — matrix multiplications (Tables 5 and 6).
+
+Testbed: servers chamagne, pulney, cabestan and artimon, agent xrousse,
+client zanzibar (Table 2).  The metatask is made of 500 multiplications of
+square matrices of size 1200, 1500 or 1800 (uniform mix, costs of Table 3);
+arrivals are Poisson.
+
+* Table 5 — low rate (mean inter-arrival 20 s): every heuristic completes all
+  tasks; the HTM heuristics improve the sum-flow / max-flow / max-stretch
+  without degrading the makespan.
+* Table 6 — high rate (mean 15 s): MCT and HMCT overload the fastest servers
+  whose memory runs out; servers collapse, NetSolve's fault tolerance saves
+  most of MCT's tasks but HMCT loses many; MP and MSF complete everything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..workload.testbed import first_set_platform, matmul_metatask
+from .config import ExperimentConfig, FULL_SCALE
+from .runner import TableResult, run_table_experiment
+
+__all__ = ["run_table5", "run_table6"]
+
+
+def _metatask(config: ExperimentConfig, rate: float, label: str):
+    rng = np.random.default_rng(config.seed)
+    return matmul_metatask(
+        count=config.scale.task_count,
+        mean_interarrival=rate,
+        rng=rng,
+        name=f"{label}-{config.scale.name}",
+    )
+
+
+def run_table5(config: Optional[ExperimentConfig] = None) -> TableResult:
+    """Reproduce Table 5 (matrix multiplications, low arrival rate)."""
+    config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
+    metatask = _metatask(config, config.low_rate_s, "table5-matmul")
+    return run_table_experiment(
+        experiment_id="table5",
+        title=(
+            f"Table 5 — matrix multiplications, Poisson mean {config.low_rate_s:g}s, "
+            f"{config.scale.task_count} tasks"
+        ),
+        platform=first_set_platform(),
+        metatasks=[metatask],
+        config=config,
+        notes=[
+            "servers: chamagne, pulney, cabestan, artimon (Table 2)",
+            "memory model enabled; collapse possible but not expected at this rate",
+        ],
+    )
+
+
+def run_table6(config: Optional[ExperimentConfig] = None) -> TableResult:
+    """Reproduce Table 6 (matrix multiplications, high arrival rate)."""
+    config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
+    metatask = _metatask(config, config.high_rate_s, "table6-matmul")
+    return run_table_experiment(
+        experiment_id="table6",
+        title=(
+            f"Table 6 — matrix multiplications, Poisson mean {config.high_rate_s:g}s, "
+            f"{config.scale.task_count} tasks"
+        ),
+        platform=first_set_platform(),
+        metatasks=[metatask],
+        config=config,
+        notes=[
+            "memory pressure: MCT/HMCT overload the fastest servers which may collapse",
+            "NetSolve fault tolerance (resubmission) applies to MCT only, as in the paper",
+        ],
+    )

@@ -1,0 +1,82 @@
+"""Second experiment set — waste-cpu tasks (Tables 7 and 8).
+
+Testbed: servers valette, spinnaker, cabestan and artimon, agent xrousse,
+client zanzibar.  The ``waste-cpu`` task was designed by the authors to have
+computation costs similar to the matrix products but a negligible memory
+footprint, so the memory problems of the first set disappear: "All the tasks
+of all the metatasks of this set of experiments have been submitted, accepted
+and computed".
+
+The paper generates *three different metatasks*, each submitted at the two
+arrival rates; Tables 7 and 8 report the per-metatask metrics and their mean.
+Here the per-metatask values are available in ``TableResult.outcomes`` and the
+table columns contain the means, which is what the shape criteria compare.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..workload.metatask import Metatask
+from ..workload.testbed import second_set_platform, wastecpu_metatask
+from .config import ExperimentConfig, FULL_SCALE
+from .runner import TableResult, run_table_experiment
+
+__all__ = ["run_table7", "run_table8", "second_set_metatasks"]
+
+
+def second_set_metatasks(config: ExperimentConfig, rate: float, label: str) -> List[Metatask]:
+    """The paper's three waste-cpu metatasks at a given arrival rate."""
+    metatasks = []
+    for index in range(config.scale.metatask_count):
+        rng = np.random.default_rng(config.seed + 97 * (index + 1))
+        metatasks.append(
+            wastecpu_metatask(
+                count=config.scale.task_count,
+                mean_interarrival=rate,
+                rng=rng,
+                name=f"{label}-mt{index + 1}-{config.scale.name}",
+            )
+        )
+    return metatasks
+
+
+def run_table7(config: Optional[ExperimentConfig] = None) -> TableResult:
+    """Reproduce Table 7 (waste-cpu tasks, low arrival rate)."""
+    config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
+    metatasks = second_set_metatasks(config, config.low_rate_s, "table7-wastecpu")
+    return run_table_experiment(
+        experiment_id="table7",
+        title=(
+            f"Table 7 — waste-cpu tasks, Poisson mean {config.low_rate_s:g}s, "
+            f"{config.scale.task_count} tasks, {len(metatasks)} metatasks (means)"
+        ),
+        platform=second_set_platform(),
+        metatasks=metatasks,
+        config=config,
+        notes=[
+            "servers: valette, spinnaker, cabestan, artimon (Table 2)",
+            "waste-cpu tasks need no memory: every task completes",
+        ],
+    )
+
+
+def run_table8(config: Optional[ExperimentConfig] = None) -> TableResult:
+    """Reproduce Table 8 (waste-cpu tasks, high arrival rate)."""
+    config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
+    metatasks = second_set_metatasks(config, config.high_rate_s, "table8-wastecpu")
+    return run_table_experiment(
+        experiment_id="table8",
+        title=(
+            f"Table 8 — waste-cpu tasks, Poisson mean {config.high_rate_s:g}s, "
+            f"{config.scale.task_count} tasks, {len(metatasks)} metatasks (means)"
+        ),
+        platform=second_set_platform(),
+        metatasks=metatasks,
+        config=config,
+        notes=[
+            "higher contention: MP and MSF give the lowest sum-flows, MSF the lowest max-flow",
+        ],
+    )

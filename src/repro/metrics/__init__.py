@@ -1,0 +1,37 @@
+"""Metrics of Section 3 and comparison / aggregation / reporting helpers."""
+
+from .aggregate import Aggregate, aggregate_summaries, aggregate_values
+from .comparison import PairwiseComparison, compare_runs, tasks_finishing_sooner
+from .flow import (
+    MetricSummary,
+    makespan,
+    max_flow,
+    max_stretch,
+    mean_flow,
+    mean_stretch,
+    stretches,
+    sum_flow,
+    summarize,
+)
+from .report import format_value, render_markdown_table, render_table
+
+__all__ = [
+    "Aggregate",
+    "aggregate_summaries",
+    "aggregate_values",
+    "PairwiseComparison",
+    "compare_runs",
+    "tasks_finishing_sooner",
+    "MetricSummary",
+    "makespan",
+    "sum_flow",
+    "max_flow",
+    "max_stretch",
+    "mean_flow",
+    "mean_stretch",
+    "stretches",
+    "summarize",
+    "format_value",
+    "render_markdown_table",
+    "render_table",
+]

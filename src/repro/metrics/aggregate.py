@@ -1,0 +1,79 @@
+"""Aggregation of metrics across repeated runs.
+
+Tables 7 and 8 of the paper report, for each of three metatasks, the mean of
+several executions per heuristic (plus the per-metatask values).  This module
+provides the small statistics needed: mean, standard deviation, and a normal
+approximation confidence interval — enough for the reproduction reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .flow import MetricSummary
+
+__all__ = ["Aggregate", "aggregate_values", "aggregate_summaries"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / spread of one scalar metric across runs."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def half_ci95(self) -> float:
+        """Half-width of a 95% normal-approximation confidence interval."""
+        if self.n <= 1:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dictionary view."""
+        return {
+            "n": self.n,
+            "mean": round(self.mean, 3),
+            "std": round(self.std, 3),
+            "min": round(self.minimum, 3),
+            "max": round(self.maximum, 3),
+            "ci95": round(self.half_ci95, 3),
+        }
+
+
+def aggregate_values(values: Iterable[float]) -> Aggregate:
+    """Aggregate a sequence of scalar values."""
+    data = [float(v) for v in values]
+    if not data:
+        return Aggregate(n=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / (n - 1) if n > 1 else 0.0
+    return Aggregate(n=n, mean=mean, std=math.sqrt(variance), minimum=min(data), maximum=max(data))
+
+
+def aggregate_summaries(summaries: Sequence[MetricSummary]) -> Dict[str, Aggregate]:
+    """Aggregate each metric of a list of per-run summaries.
+
+    Returns a mapping metric name → :class:`Aggregate` for the numeric fields
+    of :class:`~repro.metrics.flow.MetricSummary`.
+    """
+    if not summaries:
+        return {}
+    numeric_fields = (
+        "n_completed",
+        "makespan",
+        "sum_flow",
+        "max_flow",
+        "max_stretch",
+        "mean_flow",
+        "mean_stretch",
+    )
+    return {
+        name: aggregate_values(getattr(s, name) for s in summaries) for name in numeric_fields
+    }

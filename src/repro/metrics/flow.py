@@ -1,0 +1,126 @@
+"""The metrics of Section 3: makespan, sum-flow, max-flow, max-stretch.
+
+All metrics operate on collections of :class:`~repro.workload.tasks.Task`
+objects; only *completed* tasks contribute (the paper's Table 6 reports the
+metrics over the tasks each heuristic managed to complete, alongside the
+count of completed tasks).
+
+Definitions (with ``a_i`` the arrival date, ``C_i`` the completion date and
+``rho_i`` the duration of the task alone on the server it actually ran on):
+
+* makespan       ``max_i C_i``
+* sum-flow       ``sum_i (C_i - a_i)``
+* max-flow       ``max_i (C_i - a_i)``
+* max-stretch    ``max_i (C_i - a_i) / rho_i``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..workload.tasks import Task
+
+__all__ = [
+    "makespan",
+    "sum_flow",
+    "max_flow",
+    "mean_flow",
+    "stretches",
+    "max_stretch",
+    "mean_stretch",
+    "MetricSummary",
+    "summarize",
+]
+
+
+def _completed(tasks: Iterable[Task]) -> List[Task]:
+    return [task for task in tasks if task.completed]
+
+
+def makespan(tasks: Iterable[Task]) -> float:
+    """Completion time of the last finished task (0 when nothing completed)."""
+    completed = _completed(tasks)
+    return max((t.completion_time for t in completed), default=0.0)
+
+
+def sum_flow(tasks: Iterable[Task]) -> float:
+    """Total time the completed tasks spent in the system."""
+    return float(sum(t.flow for t in _completed(tasks)))
+
+
+def max_flow(tasks: Iterable[Task]) -> float:
+    """Maximum time a completed task spent in the system."""
+    completed = _completed(tasks)
+    return max((t.flow for t in completed), default=0.0)
+
+
+def mean_flow(tasks: Iterable[Task]) -> float:
+    """Mean flow of the completed tasks (0 when nothing completed)."""
+    completed = _completed(tasks)
+    if not completed:
+        return 0.0
+    return sum_flow(completed) / len(completed)
+
+
+def stretches(tasks: Iterable[Task]) -> Dict[str, float]:
+    """Per-task stretch (slowdown w.r.t. the same but unloaded server)."""
+    return {t.task_id: t.stretch for t in _completed(tasks)}
+
+
+def max_stretch(tasks: Iterable[Task]) -> float:
+    """Worst slowdown factor among the completed tasks."""
+    values = stretches(tasks).values()
+    return max(values, default=0.0)
+
+
+def mean_stretch(tasks: Iterable[Task]) -> float:
+    """Mean slowdown factor among the completed tasks."""
+    values = list(stretches(tasks).values())
+    return float(sum(values) / len(values)) if values else 0.0
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """All Section 3 metrics of one run, plus completion counts."""
+
+    heuristic: str
+    n_tasks: int
+    n_completed: int
+    makespan: float
+    sum_flow: float
+    max_flow: float
+    max_stretch: float
+    mean_flow: float
+    mean_stretch: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view (used by reports and EXPERIMENTS.md)."""
+        return {
+            "heuristic": self.heuristic,
+            "n_tasks": self.n_tasks,
+            "n_completed": self.n_completed,
+            "makespan": round(self.makespan, 2),
+            "sum_flow": round(self.sum_flow, 2),
+            "max_flow": round(self.max_flow, 2),
+            "max_stretch": round(self.max_stretch, 3),
+            "mean_flow": round(self.mean_flow, 2),
+            "mean_stretch": round(self.mean_stretch, 3),
+        }
+
+
+def summarize(tasks: Sequence[Task], heuristic: str = "") -> MetricSummary:
+    """Compute every Section 3 metric for one run."""
+    tasks = list(tasks)
+    completed = _completed(tasks)
+    return MetricSummary(
+        heuristic=heuristic,
+        n_tasks=len(tasks),
+        n_completed=len(completed),
+        makespan=makespan(completed),
+        sum_flow=sum_flow(completed),
+        max_flow=max_flow(completed),
+        max_stretch=max_stretch(completed),
+        mean_flow=mean_flow(completed),
+        mean_stretch=mean_stretch(completed),
+    )

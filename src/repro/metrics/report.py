@@ -1,0 +1,93 @@
+"""Rendering of result tables.
+
+The experiment harness produces, for every reproduced table of the paper, a
+mapping heuristic → metrics.  This module renders those mappings as aligned
+plain-text tables (mirroring the layout of Tables 5–8: one column per
+heuristic, one row per metric) and as Markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["render_table", "render_markdown_table", "format_value"]
+
+Number = Union[int, float, str, None]
+
+
+def format_value(value: Number) -> str:
+    """Format one cell: integers stay integers, floats get a sensible precision."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if abs(value - round(value)) < 1e-9 and abs(value) >= 100:
+        return str(int(round(value)))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def _column_order(columns: Mapping[str, Mapping[str, Number]], order: Optional[Sequence[str]]) -> List[str]:
+    if order is None:
+        return list(columns)
+    missing = [name for name in order if name in columns]
+    extra = [name for name in columns if name not in missing]
+    return missing + extra
+
+
+def _row_order(columns: Mapping[str, Mapping[str, Number]], rows: Optional[Sequence[str]]) -> List[str]:
+    if rows is not None:
+        return list(rows)
+    seen: List[str] = []
+    for column in columns.values():
+        for key in column:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def render_table(
+    columns: Mapping[str, Mapping[str, Number]],
+    title: str = "",
+    column_order: Optional[Sequence[str]] = None,
+    row_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``columns`` (heuristic → {metric: value}) as an aligned text table."""
+    col_names = _column_order(columns, column_order)
+    row_names = _row_order(columns, row_order)
+    label_width = max([len(r) for r in row_names] + [10])
+    col_width = max([len(c) for c in col_names] + [12]) + 2
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + "".join(f"{name:>{col_width}}" for name in col_names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in row_names:
+        cells = []
+        for col in col_names:
+            cells.append(format_value(columns[col].get(row)))
+        lines.append(f"{row:<{label_width}}" + "".join(f"{cell:>{col_width}}" for cell in cells))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    columns: Mapping[str, Mapping[str, Number]],
+    column_order: Optional[Sequence[str]] = None,
+    row_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``columns`` as a GitHub-flavoured Markdown table."""
+    col_names = _column_order(columns, column_order)
+    row_names = _row_order(columns, row_order)
+    lines = ["| metric | " + " | ".join(col_names) + " |"]
+    lines.append("|---" * (len(col_names) + 1) + "|")
+    for row in row_names:
+        cells = [format_value(columns[col].get(row)) for col in col_names]
+        lines.append(f"| {row} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

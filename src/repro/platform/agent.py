@@ -1,0 +1,227 @@
+"""The agent of the client-agent-server model.
+
+"The agent is the central part.  It knows the state of the environment and
+schedules client requests on servers that are able to execute them"
+(Section 2.1).  The :class:`Agent` implemented here:
+
+* keeps the *registration table*: which server solves which problems, with
+  the static costs of Tables 3 and 4;
+* stores the latest :class:`~repro.platform.monitors.LoadReport` of each
+  server and applies NetSolve's two load-correction mechanisms (assignment
+  bump and completion message, Section 5.3);
+* hosts the :class:`~repro.core.htm.HistoricalTraceManager` and feeds it with
+  commits, completion messages and failure notifications;
+* delegates each mapping decision to the configured heuristic, handing it a
+  :class:`~repro.core.heuristics.base.SchedulingContext` built from the
+  knowledge above — never from the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.heuristics import Decision, Heuristic, SchedulingContext, ServerInfo
+from ..core.heuristics.msf import MsfHeuristic
+from ..core.htm import HistoricalTraceManager
+from ..core.records import HtmPrediction
+from ..errors import NoCandidateServer, SchedulingError
+from ..simulation import Environment
+from ..workload.problems import PhaseCosts
+from ..workload.tasks import Task
+from .monitors import LoadReport
+from .server import ComputeServer
+
+__all__ = ["ServerRegistration", "AgentStats", "Agent"]
+
+
+@dataclass
+class ServerRegistration:
+    """The agent-side record of one registered server."""
+
+    server: ComputeServer
+    #: Latest load report received from the server's monitor (``None`` before
+    #: the first one arrives).
+    last_report: Optional[LoadReport] = None
+    #: NetSolve's first load-correction mechanism: tasks mapped on the server
+    #: since the last report, minus completion messages received since then.
+    pending_correction: int = 0
+    #: Whether the agent currently believes the server is alive.
+    believed_up: bool = True
+
+    @property
+    def name(self) -> str:
+        """Name of the registered server."""
+        return self.server.name
+
+
+@dataclass
+class AgentStats:
+    """Counters describing the agent's activity during a run."""
+
+    requests: int = 0
+    mappings: int = 0
+    completion_messages: int = 0
+    failure_messages: int = 0
+    reports_received: int = 0
+    decisions_per_server: Dict[str, int] = field(default_factory=dict)
+
+
+class Agent:
+    """The scheduling agent.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (used only for time stamps).
+    heuristic:
+        The scheduling heuristic; if it requires the HTM one is created
+        automatically unless ``htm`` is provided.
+    htm:
+        Optional explicit Historical Trace Manager instance (lets experiments
+        configure resynchronisation or communication modelling).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        heuristic: Heuristic,
+        htm: Optional[HistoricalTraceManager] = None,
+    ):
+        self.env = env
+        self.heuristic = heuristic
+        if htm is None and heuristic.requires_htm:
+            htm = HistoricalTraceManager()
+        self.htm = htm
+        self._registry: Dict[str, ServerRegistration] = {}
+        self.stats = AgentStats()
+        #: Trace of every decision: ``(time, task_id, server, Decision)``.
+        self.decision_log: List[Tuple[float, str, str, Decision]] = []
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_server(self, server: ComputeServer) -> None:
+        """A server joins the middleware and announces its problem list."""
+        if server.name in self._registry:
+            raise SchedulingError(f"server {server.name!r} is already registered")
+        self._registry[server.name] = ServerRegistration(server=server)
+        if self.htm is not None:
+            self.htm.register_server(
+                server.name,
+                server.costs_for_problem_spec,
+                cpu_count=server.spec.cpu_count,
+            )
+
+    def registered_servers(self) -> List[str]:
+        """Names of the registered servers."""
+        return list(self._registry)
+
+    def registration(self, name: str) -> ServerRegistration:
+        """The registration record of server ``name``."""
+        try:
+            return self._registry[name]
+        except KeyError:
+            raise SchedulingError(f"server {name!r} is not registered") from None
+
+    # ------------------------------------------------------------------ #
+    # information flow (monitors, completion / failure messages)
+    # ------------------------------------------------------------------ #
+    def receive_load_report(self, report: LoadReport) -> None:
+        """A monitor report reached the agent."""
+        registration = self._registry.get(report.server)
+        if registration is None:
+            return
+        registration.last_report = report
+        registration.pending_correction = 0
+        registration.believed_up = report.is_up
+        self.stats.reports_received += 1
+
+    def notify_completion(self, task: Task, server_name: str, at: float) -> None:
+        """A server notified the agent that a task finished (mechanism #2)."""
+        registration = self._registry.get(server_name)
+        if registration is not None:
+            registration.pending_correction = max(0, registration.pending_correction - 1)
+        if self.htm is not None:
+            self.htm.notify_completion(task.task_id, at)
+        if isinstance(self.heuristic, MsfHeuristic) and self.heuristic.memory_aware:
+            self.heuristic.notify_release(server_name, task.problem.memory_mb)
+        self.stats.completion_messages += 1
+
+    def notify_failure(self, task: Task, server_name: str, at: float) -> None:
+        """A task failed on a server (rejection or collapse)."""
+        registration = self._registry.get(server_name)
+        if registration is not None:
+            registration.pending_correction = max(0, registration.pending_correction - 1)
+        if self.htm is not None:
+            self.htm.notify_failure(task.task_id, at)
+        if isinstance(self.heuristic, MsfHeuristic) and self.heuristic.memory_aware:
+            self.heuristic.notify_release(server_name, task.problem.memory_mb)
+        self.stats.failure_messages += 1
+
+    def notify_server_down(self, server_name: str, at: float) -> None:
+        """The agent learnt that a server collapsed / left."""
+        registration = self._registry.get(server_name)
+        if registration is not None:
+            registration.believed_up = False
+        if self.htm is not None and self.htm.has_server(server_name):
+            self.htm.clear_server(server_name, at)
+
+    def notify_server_up(self, server_name: str, at: float) -> None:
+        """The agent learnt that a server recovered."""
+        registration = self._registry.get(server_name)
+        if registration is not None:
+            registration.believed_up = True
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def build_context(self, task: Task) -> SchedulingContext:
+        """Assemble the knowledge available to the heuristic for ``task``."""
+        now = self.env.now
+        infos: List[ServerInfo] = []
+        for registration in self._registry.values():
+            server = registration.server
+            if not server.can_solve(task.problem.name):
+                continue
+            report = registration.last_report
+            costs: PhaseCosts = server.costs_for(task.problem.name)
+            infos.append(
+                ServerInfo(
+                    name=server.name,
+                    costs=costs,
+                    reported_load=report.load if report is not None else 0.0,
+                    report_age=(now - report.emitted_at) if report is not None else float("inf"),
+                    pending_correction=registration.pending_correction,
+                    is_up=registration.believed_up,
+                    speed_hint=server.spec.speed_mflops or 1.0,
+                    cpu_count=server.spec.cpu_count,
+                )
+            )
+        if not infos:
+            raise NoCandidateServer(task.problem.name)
+        return SchedulingContext(now=now, task=task, servers=tuple(infos), htm=self.htm)
+
+    def schedule(self, task: Task) -> Decision:
+        """Map ``task`` on a server and update the agent's knowledge."""
+        self.stats.requests += 1
+        context = self.build_context(task)
+        decision = self.heuristic.select(context)
+        registration = self.registration(decision.server)
+        registration.pending_correction += 1
+        if self.htm is not None:
+            self.htm.commit(decision.server, task, context.now)
+        if isinstance(self.heuristic, MsfHeuristic) and self.heuristic.memory_aware:
+            self.heuristic.notify_commit(decision.server, task.problem.memory_mb)
+        self.stats.mappings += 1
+        self.stats.decisions_per_server[decision.server] = (
+            self.stats.decisions_per_server.get(decision.server, 0) + 1
+        )
+        self.decision_log.append((context.now, task.task_id, decision.server, decision))
+        return decision
+
+    def __repr__(self) -> str:
+        return (
+            f"<Agent heuristic={self.heuristic.name!r} servers={len(self._registry)} "
+            f"mappings={self.stats.mappings}>"
+        )

@@ -1,0 +1,65 @@
+"""Clients of the client-agent-server model.
+
+A client "is a program that requests for computational resources.  It asks
+the agent to find a set of the most suitable servers that are able to solve
+its problems" (Section 2.1), then performs an RPC-like call to the chosen
+server.  In the simulation, a :class:`Client` is a process that walks through
+the tasks of a metatask in arrival order, submits each one to the middleware
+at its arrival date, and records nothing else — every observable quantity
+lives on the :class:`~repro.workload.tasks.Task` objects themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..simulation import Environment
+from ..workload.tasks import Task
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Submits the tasks of a metatask to the agent at their arrival dates.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    name:
+        Client name (e.g. ``"zanzibar"``); stored on the submitted tasks.
+    tasks:
+        The tasks to submit (their :attr:`~repro.workload.tasks.Task.arrival`
+        dates drive the submission process).
+    submit:
+        Callback invoked with each task at its arrival date — in practice
+        :meth:`repro.platform.middleware.GridMiddleware.submit`.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        tasks: Sequence[Task],
+        submit: Callable[[Task], None],
+    ):
+        self.env = env
+        self.name = name
+        self.tasks: List[Task] = sorted(tasks, key=lambda t: (t.arrival, t.task_id))
+        self._submit = submit
+        self.submitted = 0
+        for task in self.tasks:
+            task.client = name
+        self.process = env.process(self._run(), name=f"client-{name}")
+
+    def _run(self):
+        for task in self.tasks:
+            delay = task.arrival - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._submit(task)
+            self.submitted += 1
+        return self.submitted
+
+    def __repr__(self) -> str:
+        return f"<Client {self.name} submitted={self.submitted}/{len(self.tasks)}>"

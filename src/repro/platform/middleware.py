@@ -1,0 +1,309 @@
+"""The NetSolve-like middleware harness.
+
+:class:`GridMiddleware` assembles a complete client-agent-server deployment
+inside the discrete-event simulation: the ground-truth servers (with memory
+pressure and speed noise), their load monitors, the agent with its heuristic
+and Historical Trace Manager, the client submitting a metatask, and NetSolve's
+fault-tolerance (resubmission of failed tasks).  One middleware instance
+executes one run; the experiment harness builds a fresh instance per
+(metatask, heuristic) pair.
+
+This is the substitute for the real NetSolve deployment of the paper's
+experiments — see DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..core.heuristics import Heuristic, create_heuristic
+from ..core.htm import HistoricalTraceManager
+from ..errors import NoCandidateServer, PlatformError, TaskRejected
+from ..simulation import Environment, RandomStreams
+from ..workload.metatask import Metatask
+from ..workload.problems import ProblemCatalogue, PAPER_CATALOGUE
+from ..workload.tasks import Task, TaskStatus
+from .agent import Agent
+from .client import Client
+from .faults import FaultTolerancePolicy, MemoryModel, SpeedNoiseModel
+from .monitors import LoadMonitor
+from .server import ComputeServer
+from .spec import MachineRole, PlatformSpec
+
+__all__ = ["MiddlewareConfig", "RunResult", "GridMiddleware"]
+
+
+@dataclass(frozen=True)
+class MiddlewareConfig:
+    """Tunable knobs of a middleware deployment.
+
+    The defaults correspond to the setting used for the paper's tables:
+    30-second monitor reports, 2 % CPU speed noise, memory accounting with
+    collapse enabled, fault tolerance reserved to the stock NetSolve agent
+    (i.e. the MCT heuristic).
+    """
+
+    monitor_period_s: float = 30.0
+    monitor_delay_s: float = 0.05
+    monitor_jitter_s: float = 2.0
+    memory_enabled: bool = True
+    memory_model: MemoryModel = MemoryModel(enabled=True)
+    noise_model: Optional[SpeedNoiseModel] = SpeedNoiseModel()
+    fault_tolerance: FaultTolerancePolicy = FaultTolerancePolicy()
+    #: Apply fault tolerance only to these heuristics (the paper's NetSolve
+    #: MCT benefits from resubmission, the new heuristics did not).
+    fault_tolerant_heuristics: tuple = ("mct",)
+    htm_resync: bool = True
+    htm_model_communication: bool = True
+    seed: int = 0
+    #: Hard bound on the simulated time of a run (safety net).
+    max_horizon_s: float = 1_000_000.0
+
+    def effective_memory_model(self) -> MemoryModel:
+        """Memory model actually applied to servers (honours ``memory_enabled``)."""
+        if not self.memory_enabled:
+            return MemoryModel(enabled=False)
+        return self.memory_model
+
+    def fault_policy_for(self, heuristic_name: str) -> FaultTolerancePolicy:
+        """Fault-tolerance policy applied to runs of the given heuristic."""
+        if heuristic_name in self.fault_tolerant_heuristics:
+            return self.fault_tolerance
+        return FaultTolerancePolicy.disabled()
+
+
+@dataclass
+class RunResult:
+    """Everything recorded during one middleware run."""
+
+    heuristic: str
+    metatask_name: str
+    tasks: List[Task]
+    duration: float
+    agent_decisions: Dict[str, int] = field(default_factory=dict)
+    server_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def completed_tasks(self) -> List[Task]:
+        """Tasks that ran to successful completion."""
+        return [task for task in self.tasks if task.completed]
+
+    @property
+    def failed_tasks(self) -> List[Task]:
+        """Tasks that never completed."""
+        return [task for task in self.tasks if not task.completed]
+
+    @property
+    def completed_count(self) -> int:
+        """Number of completed tasks (the paper's "number of completed tasks")."""
+        return len(self.completed_tasks)
+
+    @property
+    def failed_count(self) -> int:
+        """Number of tasks that never completed."""
+        return len(self.tasks) - self.completed_count
+
+    def task_by_id(self, task_id: str) -> Task:
+        """Look a task up by identifier."""
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(task_id)
+
+
+class GridMiddleware:
+    """A complete simulated NetSolve deployment for one run.
+
+    Parameters
+    ----------
+    platform:
+        The machines and links (e.g. from :mod:`repro.workload.testbed`).
+    heuristic:
+        Either a heuristic instance or a registry name (``"mct"``, ``"hmct"``,
+        ``"mp"``, ``"msf"``, ...).
+    catalogue:
+        The problem catalogue servers register from (defaults to the paper's).
+    config:
+        Middleware knobs; see :class:`MiddlewareConfig`.
+    server_problems:
+        Optional mapping server name → iterable of problem names it registers.
+        By default a server registers every catalogue problem it has a
+        measured cost for (or all problems when it has none).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        heuristic: Union[Heuristic, str],
+        catalogue: ProblemCatalogue = PAPER_CATALOGUE,
+        config: Optional[MiddlewareConfig] = None,
+        server_problems: Optional[Mapping[str, Iterable[str]]] = None,
+    ):
+        self.platform = platform
+        self.catalogue = catalogue
+        self.config = config if config is not None else MiddlewareConfig()
+        self.heuristic = (
+            heuristic if isinstance(heuristic, Heuristic) else create_heuristic(heuristic)
+        )
+        self.streams = RandomStreams(self.config.seed)
+
+        self.env = Environment()
+        self.servers: Dict[str, ComputeServer] = {}
+        self.monitors: Dict[str, LoadMonitor] = {}
+
+        htm = None
+        if self.heuristic.requires_htm:
+            htm = HistoricalTraceManager(
+                resync_on_completion=self.config.htm_resync,
+                model_communication=self.config.htm_model_communication,
+            )
+        self.agent = Agent(self.env, self.heuristic, htm=htm)
+        self.fault_policy = self.config.fault_policy_for(self.heuristic.name)
+
+        memory_model = self.config.effective_memory_model()
+        for name in platform.server_names():
+            spec = platform.machine(name)
+            problems = self._problems_for(name, server_problems)
+            server = ComputeServer(
+                env=self.env,
+                spec=spec,
+                problems=problems,
+                catalogue=catalogue,
+                memory_model=memory_model,
+                noise_model=self.config.noise_model,
+                rng=self.streams[f"speed-noise/{name}"],
+            )
+            server.on_completion.append(self._on_task_completed)
+            server.on_failure.append(self._on_task_failed)
+            server.on_collapse.append(self._on_server_collapse)
+            server.on_recovery.append(self._on_server_recovery)
+            self.servers[name] = server
+            self.agent.register_server(server)
+            self.monitors[name] = LoadMonitor(
+                env=self.env,
+                server=server,
+                deliver=self.agent.receive_load_report,
+                period=self.config.monitor_period_s,
+                delay=self.config.monitor_delay_s,
+                jitter=self.config.monitor_jitter_s,
+                rng=self.streams[f"monitor/{name}"],
+            )
+
+        self._tasks: List[Task] = []
+        self._terminal = 0
+        self._expected = 0
+        self._finished_event = None
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # setup helpers
+    # ------------------------------------------------------------------ #
+    def _problems_for(
+        self, server_name: str, server_problems: Optional[Mapping[str, Iterable[str]]]
+    ) -> List[str]:
+        if server_problems is not None and server_name in server_problems:
+            return list(server_problems[server_name])
+        measured = [p.name for p in self.catalogue if server_name in p.known_servers()]
+        return measured if measured else [p.name for p in self.catalogue]
+
+    # ------------------------------------------------------------------ #
+    # task lifecycle
+    # ------------------------------------------------------------------ #
+    def submit(self, task: Task) -> None:
+        """Entry point used by clients: schedule and dispatch one task."""
+        task.status = TaskStatus.SUBMITTED
+        self._dispatch(task)
+
+    def _dispatch(self, task: Task) -> None:
+        now = self.env.now
+        try:
+            decision = self.agent.schedule(task)
+        except NoCandidateServer:
+            task.mark_failed(now, "no candidate server")
+            self._task_terminal(task)
+            return
+        server = self.servers[decision.server]
+        task.new_attempt(decision.server, mapped_at=now)
+        try:
+            server.submit(task)
+        except TaskRejected as exc:
+            task.mark_failed(now, str(exc))
+            self.agent.notify_failure(task, decision.server, now)
+            self._maybe_retry(task, now)
+
+    def _on_task_completed(self, task: Task, at: float) -> None:
+        server_name = task.attempts[-1].server
+        self.agent.notify_completion(task, server_name, at)
+        self._task_terminal(task)
+
+    def _on_task_failed(self, task: Task, at: float, reason: str) -> None:
+        server_name = task.attempts[-1].server if task.attempts else "?"
+        self.agent.notify_failure(task, server_name, at)
+        self._maybe_retry(task, at)
+
+    def _maybe_retry(self, task: Task, at: float) -> None:
+        if self.fault_policy.should_retry(task.n_attempts):
+            delay = max(self.fault_policy.retry_delay_s, 0.0)
+            task.status = TaskStatus.SUBMITTED
+            timeout = self.env.timeout(delay)
+            timeout.callbacks.append(lambda _evt, t=task: self._dispatch(t))
+        else:
+            self._task_terminal(task)
+
+    def _on_server_collapse(self, server: ComputeServer, at: float) -> None:
+        self.agent.notify_server_down(server.name, at)
+
+    def _on_server_recovery(self, server: ComputeServer, at: float) -> None:
+        self.agent.notify_server_up(server.name, at)
+
+    def _task_terminal(self, task: Task) -> None:
+        self._terminal += 1
+        if self._finished_event is not None and self._terminal >= self._expected:
+            if not self._finished_event.triggered:
+                self._finished_event.succeed()
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self, workload: Union[Metatask, Sequence[Task]], client_name: str = "zanzibar") -> RunResult:
+        """Execute a metatask (or an explicit task list) to completion.
+
+        The run ends when every task reached a terminal state (completed or
+        definitively failed) or when the safety horizon is hit.
+        """
+        if self._ran:
+            raise PlatformError("a GridMiddleware instance can only run once; build a new one")
+        self._ran = True
+
+        if isinstance(workload, Metatask):
+            tasks = workload.instantiate(client=client_name)
+            metatask_name = workload.name
+        else:
+            tasks = list(workload)
+            metatask_name = "custom"
+
+        self._tasks = tasks
+        self._expected = len(tasks)
+        self._finished_event = self.env.event()
+        Client(self.env, client_name, tasks, submit=self.submit)
+
+        horizon = self.env.timeout(self.config.max_horizon_s)
+        self.env.run(until=self.env.any_of([self._finished_event, horizon]))
+
+        return RunResult(
+            heuristic=self.heuristic.name,
+            metatask_name=metatask_name,
+            tasks=tasks,
+            duration=self.env.now,
+            agent_decisions=dict(self.agent.stats.decisions_per_server),
+            server_stats={name: server.stats.as_dict() for name, server in self.servers.items()},
+            seed=self.config.seed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<GridMiddleware heuristic={self.heuristic.name!r} "
+            f"servers={list(self.servers)}>"
+        )

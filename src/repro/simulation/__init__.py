@@ -1,0 +1,63 @@
+"""Discrete-event simulation substrate.
+
+This package is a self-contained, SimPy-style discrete-event simulation
+engine plus the fluid processor-sharing models that the rest of the library
+builds upon:
+
+* :class:`Environment`, :class:`Process`, :class:`Event`, :class:`Timeout`,
+  :class:`AllOf`, :class:`AnyOf`, :class:`Interrupt` — the event calendar and
+  generator-based processes;
+* :class:`Resource`, :class:`Container`, :class:`Store` — classic shared
+  resources;
+* :class:`ProcessorSharingQueue`, :class:`FluidNetwork` — the egalitarian
+  time-sharing model of the paper (Section 2.3);
+* :class:`RandomStreams` — reproducible named random streams.
+"""
+
+from .engine import Environment, Infinity
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from .fluid import (
+    EPSILON,
+    FluidEvent,
+    FluidNetwork,
+    FluidStage,
+    FluidTaskState,
+    ProcessorSharingQueue,
+    PSJob,
+)
+from .process import Process
+from .resources import Container, Request, Resource, Store
+from .rng import RandomStreams
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Request",
+    "Container",
+    "Store",
+    "EPSILON",
+    "PSJob",
+    "ProcessorSharingQueue",
+    "FluidStage",
+    "FluidTaskState",
+    "FluidEvent",
+    "FluidNetwork",
+    "RandomStreams",
+]

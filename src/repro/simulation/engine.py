@@ -1,0 +1,180 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` keeps the simulation clock and the event calendar (a
+binary heap ordered by ``(time, priority, insertion index)`` so that the
+execution order is fully deterministic).  It exposes SimPy-compatible factory
+helpers (``process``, ``timeout``, ``event``, ``all_of``, ``any_of``) so that
+models written against SimPy port over directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..errors import EmptySchedule, SimulationError
+from .events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "Infinity"]
+
+#: Convenience alias used for "run forever" bounds.
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment of a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (defaults to ``0.0``).
+
+    Notes
+    -----
+    The event calendar orders events by time, then priority (urgent events
+    first), then by insertion order, making runs reproducible bit-for-bit for
+    a given model and seed.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # ------------------------------------------------------------------ #
+    # clock & calendar
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (``None`` between steps)."""
+        return self._active_proc
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert ``event`` into the calendar ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next event of the calendar.
+
+        Raises
+        ------
+        EmptySchedule
+            If there is no event left.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("the event calendar is empty") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise SimulationError(f"event {event!r} was scheduled twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # A failed event that nobody handled: surface the error.
+            exc = event._value
+            raise exc
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the calendar is exhausted;
+            * a number — run until the clock reaches that time;
+            * an :class:`~repro.simulation.events.Event` — run until that
+              event is processed, and return its value.
+
+        Returns
+        -------
+        The value of ``until`` when it is an event, ``None`` otherwise.
+        """
+        at: Optional[float] = None
+        stop_event: Optional[Event] = None
+
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                marker = {"done": False}
+                stop_event.callbacks.append(lambda _evt: marker.__setitem__("done", True))
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be earlier than the current time ({self._now})"
+                    )
+
+        try:
+            while True:
+                if stop_event is not None and stop_event.processed:
+                    break
+                if at is not None and self.peek() > at:
+                    self._now = at
+                    break
+                self.step()
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "the simulation ran out of events before the awaited event triggered"
+                ) from None
+
+        if stop_event is not None:
+            if stop_event._value is PENDING:
+                raise SimulationError(
+                    "the simulation stopped before the awaited event triggered"
+                )
+            if stop_event._ok:
+                return stop_event._value
+            raise stop_event._value
+        return None
+
+    # ------------------------------------------------------------------ #
+    # factories
+    # ------------------------------------------------------------------ #
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`~repro.simulation.process.Process`."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`~repro.simulation.events.Timeout` event."""
+        return Timeout(self, delay, value=value)
+
+    def event(self) -> Event:
+        """Create a plain, untriggered :class:`~repro.simulation.events.Event`."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create a condition that waits for all the ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create a condition that waits for any of the ``events``."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

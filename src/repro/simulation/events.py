@@ -1,0 +1,365 @@
+"""Event primitives of the discrete-event simulation engine.
+
+The engine follows the SimPy design: an :class:`Event` is a value that may be
+*triggered* (scheduled), then *processed* (its callbacks are executed at its
+scheduled simulation time).  Processes (see :mod:`repro.simulation.process`)
+are generators that ``yield`` events and are resumed when the yielded event is
+processed.
+
+Only the subset of SimPy needed by the platform model is implemented, but it
+is implemented faithfully (success / failure propagation, ``AnyOf`` /
+``AllOf`` conditions, interrupts), so the engine is reusable for other
+discrete-event models.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Initialize",
+    "Interruption",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+]
+
+
+class _Pending:
+    """Unique sentinel for the value of a not-yet-triggered event."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<PENDING>"
+
+
+#: Sentinel used as the value of events that have not been triggered yet.
+PENDING = _Pending()
+
+#: Priority of urgent events (processed before normal events at equal time).
+URGENT = 0
+#: Priority of normal events.
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Exception thrown into a process when it is interrupted.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the process was interrupted.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`repro.simulation.Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event goes through three states:
+
+    * *not triggered*: freshly created, not yet in the event calendar;
+    * *triggered*: it has been scheduled and carries a value;
+    * *processed*: its callbacks have been invoked.
+
+    Callbacks are callables taking the event as sole argument.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: When an event fails and nobody ever inspects it, the engine raises
+        #: the failure at the end of the step unless the event was "defused".
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------- #
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled with a value."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the callbacks of the event have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value of the event (or the exception if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """Whether a failure of this event has been acknowledged."""
+        return self._defused
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = bool(value)
+
+    # -- triggering -------------------------------------------------------- #
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception`` as its value."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state (ok + value) of ``event``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    # -- composition ------------------------------------------------------- #
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_event, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} object at {id(self):#x} [{state}]>"
+
+
+class Timeout(Event):
+    """An event that is automatically triggered ``delay`` time units later."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"<Timeout({self._delay}) object at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Event that starts a freshly created process (internal use)."""
+
+    def __init__(self, env: "Environment", process):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Event that interrupts a process (internal use)."""
+
+    def __init__(self, process, cause: Any):
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.process = process
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process.triggered:
+            # The process terminated before the interruption could take place.
+            return
+        # Unsubscribe the process from the event it is currently waiting for.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self.process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self.process._resume(self)
+
+
+class ConditionValue:
+    """Ordered mapping of the events of a condition to their values."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        """The triggered events, in trigger order."""
+        return list(self.events)
+
+    def values(self):
+        """The values of the triggered events, in trigger order."""
+        return [event.value for event in self.events]
+
+    def items(self):
+        """``(event, value)`` pairs in trigger order."""
+        return [(event, event.value) for event in self.events]
+
+    def todict(self) -> dict:
+        """Return the condition value as a plain dictionary."""
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """An event that is triggered once ``evaluate(events, count)`` is true.
+
+    ``evaluate`` receives the list of sub-events and the number of already
+    triggered ones.  The two standard evaluation functions are available as
+    :meth:`all_events` (``AllOf``) and :meth:`any_event` (``AnyOf``).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        if not self._events:
+            # Immediately true for an empty list of events.
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events of a condition must share the environment")
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None and event.triggered:
+                value.events.append(event)
+
+    def _build_value(self, event: Event) -> None:
+        self._remove_check_callbacks()
+        if event._ok:
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    def _remove_check_callbacks(self) -> None:
+        for event in self._events:
+            if event.callbacks is not None and self._check in event.callbacks:
+                event.callbacks.remove(self._check)
+            if isinstance(event, Condition):
+                event._remove_check_callbacks()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # Propagate failures immediately.
+            event.defused = True
+            self._remove_check_callbacks()
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            self._build_value(event)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        """Evaluation function of :class:`AllOf`."""
+        return len(events) == count
+
+    @staticmethod
+    def any_event(events: List[Event], count: int) -> bool:
+        """Evaluation function of :class:`AnyOf`."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition triggered once *all* of its sub-events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition triggered once *any* of its sub-events has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.any_event, events)

@@ -1,0 +1,125 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator yields
+:class:`~repro.simulation.events.Event` instances; each time a yielded event
+is processed the generator is resumed with the event's value (or the event's
+exception is thrown into it when the event failed).  The process itself is an
+event that triggers when the generator terminates, which lets other processes
+wait for it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import SimulationError, StopProcess
+from .events import Event, Initialize, Interruption, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+__all__ = ["Process", "ProcessGenerator"]
+
+#: Type alias for the generators accepted by :class:`Process`.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process of the simulation.
+
+    Parameters
+    ----------
+    env:
+        The environment the process lives in.
+    generator:
+        A generator yielding events.  The value the generator returns (either
+        via ``return value`` or by raising :class:`~repro.errors.StopProcess`)
+        becomes the value of the process event.
+    name:
+        Optional name used in ``repr`` and error messages.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", type(generator).__name__)
+        #: The event this process is currently waiting for (``None`` when the
+        #: process is being initialised or has terminated).
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the wrapped generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process.
+
+        The process receives an :class:`~repro.simulation.events.Interrupt`
+        exception at its current ``yield`` statement.  Interrupting a
+        terminated process raises :class:`~repro.errors.SimulationError`.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        Interruption(self, cause)
+
+    # ------------------------------------------------------------------ #
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value (or exception) of ``event``."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The process has "seen" the failure: defuse it.
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                # Normal termination of the generator.
+                self._ok = True
+                self._value = exc.value
+                self.env.schedule(self)
+                break
+            except StopProcess as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                # The generator raised: the process fails.
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            # The generator yielded a new event to wait for.
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded {next_event!r}, which is not an Event"
+                )
+                self._ok = False
+                self._value = error
+                self.env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # The event has not been processed yet: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # The event was already processed: loop and feed it immediately.
+            event = next_event
+
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process({self.name}) object at {id(self):#x}>"

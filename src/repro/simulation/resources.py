@@ -1,0 +1,254 @@
+"""Shared-resource primitives for the discrete-event engine.
+
+Three classic SimPy-style resources are provided:
+
+* :class:`Resource` — a counting semaphore with a FIFO wait queue.  Requests
+  are events; releasing wakes up the next waiter.
+* :class:`Container` — a continuous stock that processes can ``put`` into and
+  ``get`` from.
+* :class:`Store` — a FIFO store of arbitrary Python objects.
+
+They are used by the platform model for things that are *not* processor
+shared (e.g. the agent's request-handling capacity, recovery slots), while
+processor-shared execution uses :mod:`repro.simulation.fluid`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..errors import SimulationError
+from .engine import Environment
+from .events import Event
+
+__all__ = ["Request", "Release", "Resource", "Container", "Store"]
+
+
+class Request(Event):
+    """Request event returned by :meth:`Resource.request`.
+
+    The event succeeds once the resource grants a slot to the requester.
+    It can be used as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw the request if it has not been granted yet."""
+        if not self.triggered:
+            self.resource._cancel(self)
+
+
+class Release(Event):
+    """Release event returned by :meth:`Resource.release` (succeeds at once)."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        self.succeed()
+
+
+class Resource:
+    """A resource with ``capacity`` usage slots and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be strictly positive")
+        self.env = env
+        self._capacity = int(capacity)
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of usage slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request a usage slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Release the slot held by ``request`` and wake up the next waiter."""
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+        self._grant_waiters()
+        return Release(self, request)
+
+    # ------------------------------------------------------------------ #
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def __repr__(self) -> str:
+        return f"<Resource capacity={self._capacity} used={self.count} queued={len(self.queue)}>"
+
+
+class _ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be strictly positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._puts.append(self)
+        container._trigger()
+
+
+class _ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be strictly positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._gets.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous stock with an optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be strictly positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(init)
+        self._puts: Deque[_ContainerPut] = deque()
+        self._gets: Deque[_ContainerGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum stock level."""
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current stock level."""
+        return self._level
+
+    def put(self, amount: float) -> _ContainerPut:
+        """Add ``amount`` to the stock (waits while the container is full)."""
+        return _ContainerPut(self, amount)
+
+    def get(self, amount: float) -> _ContainerGet:
+        """Remove ``amount`` from the stock (waits while it is insufficient)."""
+        return _ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self._capacity:
+                put = self._puts.popleft()
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                get = self._gets.popleft()
+                self._level -= get.amount
+                get.succeed()
+                progressed = True
+
+
+class _StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._puts.append(self)
+        store._trigger()
+
+
+class _StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._gets.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO store of Python objects with an optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be strictly positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._puts: Deque[_StorePut] = deque()
+        self._gets: Deque[_StoreGet] = deque()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of stored items."""
+        return self._capacity
+
+    def put(self, item: Any) -> _StorePut:
+        """Insert ``item`` (waits while the store is full)."""
+        return _StorePut(self, item)
+
+    def get(self) -> _StoreGet:
+        """Retrieve the oldest item (waits while the store is empty)."""
+        return _StoreGet(self)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self._capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"<Store items={len(self.items)} queued_puts={len(self._puts)} queued_gets={len(self._gets)}>"
+
+
+def __getattr__(name: str) -> Any:  # pragma: no cover - convenience
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Workload generation: problems, tasks, arrival processes and metatasks.
+
+The factories that assemble the paper's testbeds (Table 2 machines + Tables 3
+and 4 problems) live in :mod:`repro.workload.testbed`; that module is not
+imported eagerly here because it depends on :mod:`repro.platform`.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    FixedIntervalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    UniformArrivals,
+)
+from .metatask import Metatask, MetataskItem, generate_metatask
+from .problems import (
+    MATMUL_PROBLEMS,
+    PAPER_CATALOGUE,
+    WASTECPU_PROBLEMS,
+    PhaseCosts,
+    ProblemCatalogue,
+    ProblemSpec,
+    matmul_problem,
+    wastecpu_problem,
+)
+from .tasks import Task, TaskAttempt, TaskStatus, task_id_factory
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "FixedIntervalArrivals",
+    "TraceArrivals",
+    "Metatask",
+    "MetataskItem",
+    "generate_metatask",
+    "PhaseCosts",
+    "ProblemSpec",
+    "ProblemCatalogue",
+    "MATMUL_PROBLEMS",
+    "WASTECPU_PROBLEMS",
+    "PAPER_CATALOGUE",
+    "matmul_problem",
+    "wastecpu_problem",
+    "Task",
+    "TaskAttempt",
+    "TaskStatus",
+    "task_id_factory",
+]

@@ -1,0 +1,144 @@
+"""Metatask generation.
+
+A *metatask* is a set of independent tasks submitted to the agent
+(Section 5: "We call an experiment the submission of a metatask composed of
+N independent tasks to the agent").  The tasks of a metatask are all of the
+same family; each task draws its parameter (matrix size / waste-cpu
+parameter) uniformly among the family's three values, and its arrival date
+from the arrival process.
+
+Crucially, the paper compares heuristics on the *same* metatask: the tasks
+and their arrival dates are drawn once, then replayed under every heuristic.
+:class:`Metatask` is therefore an immutable value object; the middleware
+works on fresh :class:`~repro.workload.tasks.Task` copies produced by
+:meth:`Metatask.instantiate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .arrivals import ArrivalProcess, PoissonArrivals
+from .problems import ProblemSpec
+from .tasks import Task
+
+__all__ = ["MetataskItem", "Metatask", "generate_metatask"]
+
+
+@dataclass(frozen=True)
+class MetataskItem:
+    """One entry of a metatask: a problem and its submission date."""
+
+    index: int
+    problem: ProblemSpec
+    arrival: float
+
+
+@dataclass(frozen=True)
+class Metatask:
+    """An immutable set of independent tasks with fixed arrival dates."""
+
+    name: str
+    items: Tuple[MetataskItem, ...]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    @property
+    def makespan_lower_bound(self) -> float:
+        """Date of the last arrival (no schedule can finish before that)."""
+        return max((item.arrival for item in self.items), default=0.0)
+
+    def problem_mix(self) -> dict:
+        """Histogram of problem names in the metatask."""
+        mix: dict = {}
+        for item in self.items:
+            mix[item.problem.name] = mix.get(item.problem.name, 0) + 1
+        return mix
+
+    def instantiate(self, client: str = "client") -> List[Task]:
+        """Create fresh :class:`Task` objects for one simulation run."""
+        return [
+            Task(
+                task_id=f"{self.name}/{item.index:06d}",
+                problem=item.problem,
+                arrival=item.arrival,
+                client=client,
+            )
+            for item in self.items
+        ]
+
+    def with_arrivals(self, dates: Sequence[float], name: Optional[str] = None) -> "Metatask":
+        """Return a copy of the metatask with new arrival dates (same tasks).
+
+        This mirrors the paper's protocol of considering "the same set of
+        tasks ... with different arrival dates".
+        """
+        if len(dates) != len(self.items):
+            raise WorkloadError(
+                f"{len(dates)} arrival dates provided for {len(self.items)} tasks"
+            )
+        items = tuple(
+            MetataskItem(index=item.index, problem=item.problem, arrival=float(date))
+            for item, date in zip(self.items, sorted(dates))
+        )
+        return Metatask(name=name or f"{self.name}-rearrived", items=items)
+
+
+def generate_metatask(
+    name: str,
+    problems: Sequence[ProblemSpec],
+    count: int,
+    arrivals: ArrivalProcess,
+    rng: Optional[np.random.Generator] = None,
+    problem_weights: Optional[Sequence[float]] = None,
+) -> Metatask:
+    """Draw a metatask.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the metatask (becomes the prefix of its task ids).
+    problems:
+        The candidate problems; "a task has a uniform probability to be of
+        each duration" (Section 5) unless ``problem_weights`` is given.
+    count:
+        Number of tasks (the paper uses 500).
+    arrivals:
+        The arrival process (typically :class:`PoissonArrivals`).
+    rng:
+        NumPy generator; a default one is created when omitted (not
+        recommended for experiments — use :class:`repro.simulation.RandomStreams`).
+    problem_weights:
+        Optional non-uniform mix of the problems.
+    """
+    if count <= 0:
+        raise WorkloadError("a metatask needs at least one task")
+    if not problems:
+        raise WorkloadError("at least one problem spec is required")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    if problem_weights is not None:
+        if len(problem_weights) != len(problems):
+            raise WorkloadError("problem_weights must match the number of problems")
+        weights = np.asarray(problem_weights, dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise WorkloadError("problem_weights must be non-negative and sum to > 0")
+        weights = weights / weights.sum()
+    else:
+        weights = np.full(len(problems), 1.0 / len(problems))
+
+    indices = rng.choice(len(problems), size=count, p=weights)
+    dates = arrivals.dates(count, rng)
+    items = tuple(
+        MetataskItem(index=i, problem=problems[int(idx)], arrival=float(date))
+        for i, (idx, date) in enumerate(zip(indices, dates))
+    )
+    return Metatask(name=name, items=items)

@@ -1,0 +1,289 @@
+"""Problem catalogue.
+
+A *problem* is what a NetSolve client asks the agent to solve (Section 2.1):
+its static description gives the size of the input and output data and the
+task cost.  The paper uses two families of problems:
+
+* dense matrix multiplications of sizes 1200, 1500 and 1800 (Table 3), whose
+  costs were measured on each unloaded server of the testbed, and whose
+  memory footprint (input + output matrices) is what triggers the server
+  collapses of Table 6;
+* ``waste-cpu`` tasks with parameters 200, 400 and 600 (Table 4), designed to
+  have similar compute costs but a negligible memory footprint.
+
+The catalogue below hard-codes the measured costs of Tables 3 and 4, so the
+reproduced workload is exactly the paper's.  For machines that are not part
+of the original testbed, costs fall back to a simple speed/bandwidth model so
+the library remains usable on arbitrary synthetic platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import UnknownProblem
+
+__all__ = [
+    "PhaseCosts",
+    "ProblemSpec",
+    "ProblemCatalogue",
+    "MATMUL_PROBLEMS",
+    "WASTECPU_PROBLEMS",
+    "PAPER_CATALOGUE",
+    "matmul_problem",
+    "wastecpu_problem",
+]
+
+
+@dataclass(frozen=True)
+class PhaseCosts:
+    """Unloaded-server costs (in seconds) of the three phases of a task."""
+
+    input_s: float
+    compute_s: float
+    output_s: float
+
+    @property
+    def total(self) -> float:
+        """Total unloaded duration of the task on that server."""
+        return self.input_s + self.compute_s + self.output_s
+
+    def scaled(self, factor: float) -> "PhaseCosts":
+        """Return the costs multiplied by ``factor`` (used for what-if models)."""
+        return PhaseCosts(self.input_s * factor, self.compute_s * factor, self.output_s * factor)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Static description of a problem, as known to the agent.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"matmul-1500"``.
+    family:
+        Problem family (``"matmul"`` or ``"wastecpu"`` for the paper's two
+        workloads).
+    parameter:
+        The family parameter (matrix size, or waste-cpu duration parameter).
+    input_mb / output_mb:
+        Size of the input and output data in MB.  For matrix products this is
+        also the memory the task needs while resident on a server (Table 3).
+    compute_mflop:
+        Abstract amount of computation, used only for machines without an
+        entry in :attr:`server_costs` (cost = ``compute_mflop / speed_mflops``).
+    server_costs:
+        Measured unloaded costs per server name (Tables 3 and 4).
+    """
+
+    name: str
+    family: str
+    parameter: int
+    input_mb: float
+    output_mb: float
+    compute_mflop: float
+    server_costs: Mapping[str, PhaseCosts] = field(default_factory=dict)
+
+    @property
+    def memory_mb(self) -> float:
+        """Resident memory the task needs on a server (input + output data)."""
+        return self.input_mb + self.output_mb
+
+    def known_servers(self) -> Tuple[str, ...]:
+        """Server names that have a measured cost entry."""
+        return tuple(self.server_costs)
+
+    def costs_on(
+        self,
+        server_name: str,
+        *,
+        speed_mflops: Optional[float] = None,
+        bandwidth_mb_s: float = 10.0,
+        latency_s: float = 0.01,
+    ) -> PhaseCosts:
+        """Unloaded costs of this problem on ``server_name``.
+
+        If the server has a measured entry (paper testbed), it is returned
+        directly.  Otherwise costs are derived from ``speed_mflops`` and the
+        link characteristics — the NetSolve estimate of Section 2.2
+        (``size / bandwidth + latency`` for transfers, ``cost / speed`` for the
+        computation).
+        """
+        costs = self.server_costs.get(server_name)
+        if costs is not None:
+            return costs
+        if speed_mflops is None or speed_mflops <= 0:
+            raise UnknownProblem(
+                f"{self.name} has no measured cost on server {server_name!r} and no "
+                f"speed was provided to derive one"
+            )
+        return PhaseCosts(
+            input_s=self.input_mb / bandwidth_mb_s + latency_s,
+            compute_s=self.compute_mflop / speed_mflops,
+            output_s=self.output_mb / bandwidth_mb_s + latency_s,
+        )
+
+
+class ProblemCatalogue:
+    """A named collection of :class:`ProblemSpec` (what servers can "solve")."""
+
+    def __init__(self, problems: Optional[Mapping[str, ProblemSpec]] = None):
+        self._problems: Dict[str, ProblemSpec] = dict(problems or {})
+
+    def add(self, problem: ProblemSpec) -> None:
+        """Register (or replace) a problem."""
+        self._problems[problem.name] = problem
+
+    def get(self, name: str) -> ProblemSpec:
+        """Return the problem called ``name`` or raise :class:`UnknownProblem`."""
+        try:
+            return self._problems[name]
+        except KeyError:
+            raise UnknownProblem(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._problems
+
+    def __iter__(self):
+        return iter(self._problems.values())
+
+    def __len__(self) -> int:
+        return len(self._problems)
+
+    def names(self) -> Tuple[str, ...]:
+        """All problem names in insertion order."""
+        return tuple(self._problems)
+
+    def family(self, family: str) -> Tuple[ProblemSpec, ...]:
+        """All problems of a given family, in insertion order."""
+        return tuple(p for p in self._problems.values() if p.family == family)
+
+    def __repr__(self) -> str:
+        return f"<ProblemCatalogue {list(self._problems)}>"
+
+
+# --------------------------------------------------------------------------- #
+# Table 3 — matrix multiplication tasks
+# --------------------------------------------------------------------------- #
+def _matmul(size: int, input_mb: float, output_mb: float, costs: Dict[str, Tuple[float, float, float]]) -> ProblemSpec:
+    # 2 n^3 floating point operations, in MFlop.
+    mflop = 2.0 * size**3 / 1e6
+    return ProblemSpec(
+        name=f"matmul-{size}",
+        family="matmul",
+        parameter=size,
+        input_mb=input_mb,
+        output_mb=output_mb,
+        compute_mflop=mflop,
+        server_costs={name: PhaseCosts(*c) for name, c in costs.items()},
+    )
+
+
+#: Matrix-multiplication problems with the measured costs of Table 3
+#: (seconds on the unloaded servers chamagne, cabestan, artimon, pulney).
+MATMUL_PROBLEMS: Dict[str, ProblemSpec] = {
+    "matmul-1200": _matmul(
+        1200,
+        input_mb=21.97,
+        output_mb=10.98,
+        costs={
+            "chamagne": (4.0, 149.0, 1.0),
+            "cabestan": (4.0, 70.0, 1.0),
+            "artimon": (3.0, 18.0, 1.0),
+            "pulney": (3.0, 14.0, 1.0),
+        },
+    ),
+    "matmul-1500": _matmul(
+        1500,
+        input_mb=34.33,
+        output_mb=17.16,
+        costs={
+            "chamagne": (6.0, 292.0, 2.0),
+            "cabestan": (5.0, 136.0, 2.0),
+            "artimon": (5.0, 33.0, 1.0),
+            "pulney": (5.0, 25.0, 1.0),
+        },
+    ),
+    "matmul-1800": _matmul(
+        1800,
+        input_mb=49.43,
+        output_mb=24.72,
+        costs={
+            "chamagne": (8.0, 504.0, 3.0),
+            "cabestan": (8.0, 231.0, 3.0),
+            "artimon": (8.0, 53.0, 2.0),
+            "pulney": (7.0, 40.0, 2.0),
+        },
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Table 4 — waste-cpu tasks
+# --------------------------------------------------------------------------- #
+def _wastecpu(param: int, costs: Dict[str, Tuple[float, float, float]]) -> ProblemSpec:
+    # waste-cpu computes without allocating memory; its abstract cost is taken
+    # proportional to the parameter so the generic model stays meaningful.
+    return ProblemSpec(
+        name=f"wastecpu-{param}",
+        family="wastecpu",
+        parameter=param,
+        input_mb=0.01,
+        output_mb=0.01,
+        compute_mflop=float(param) * 50.0,
+        server_costs={name: PhaseCosts(*c) for name, c in costs.items()},
+    )
+
+
+#: waste-cpu problems with the measured costs of Table 4
+#: (seconds on the unloaded servers valette, spinnaker, cabestan, artimon).
+WASTECPU_PROBLEMS: Dict[str, ProblemSpec] = {
+    "wastecpu-200": _wastecpu(
+        200,
+        costs={
+            "valette": (0.08, 91.81, 0.03),
+            "spinnaker": (0.09, 16.0, 0.05),
+            "cabestan": (0.10, 74.86, 0.03),
+            "artimon": (0.12, 17.1, 0.03),
+        },
+    ),
+    "wastecpu-400": _wastecpu(
+        400,
+        costs={
+            "valette": (0.08, 182.52, 0.03),
+            "spinnaker": (0.14, 30.6, 0.06),
+            "cabestan": (0.09, 148.48, 0.03),
+            "artimon": (0.13, 33.2, 0.03),
+        },
+    ),
+    "wastecpu-600": _wastecpu(
+        600,
+        costs={
+            "valette": (0.13, 273.28, 0.03),
+            "spinnaker": (0.09, 45.6, 0.05),
+            "cabestan": (0.08, 222.26, 0.03),
+            "artimon": (0.14, 49.4, 0.03),
+        },
+    ),
+}
+
+
+#: The complete catalogue of the paper (Tables 3 and 4 together).
+PAPER_CATALOGUE = ProblemCatalogue({**MATMUL_PROBLEMS, **WASTECPU_PROBLEMS})
+
+
+def matmul_problem(size: int) -> ProblemSpec:
+    """Return the matrix-multiplication problem of the given ``size``."""
+    name = f"matmul-{size}"
+    if name not in MATMUL_PROBLEMS:
+        raise UnknownProblem(name)
+    return MATMUL_PROBLEMS[name]
+
+
+def wastecpu_problem(parameter: int) -> ProblemSpec:
+    """Return the waste-cpu problem with the given ``parameter``."""
+    name = f"wastecpu-{parameter}"
+    if name not in WASTECPU_PROBLEMS:
+        raise UnknownProblem(name)
+    return WASTECPU_PROBLEMS[name]

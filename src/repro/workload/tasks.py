@@ -1,0 +1,174 @@
+"""Tasks and their lifecycle records.
+
+A :class:`Task` is one client request: an instance of a problem from the
+catalogue, submitted to the agent at a given date.  The middleware fills in
+its lifecycle fields as the simulation progresses (mapping, phase completion
+dates, final status).  The metric layer (:mod:`repro.metrics`) only ever needs
+the completed :class:`Task` objects.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .problems import PhaseCosts, ProblemSpec
+
+__all__ = ["TaskStatus", "TaskAttempt", "Task", "task_id_factory"]
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle status of a task."""
+
+    #: Created but not yet submitted to the agent.
+    PENDING = "pending"
+    #: Submitted to the agent, waiting for or undergoing execution.
+    SUBMITTED = "submitted"
+    #: Mapped to a server and currently executing (any of the three phases).
+    RUNNING = "running"
+    #: Completed successfully; ``completion_time`` is set.
+    COMPLETED = "completed"
+    #: Definitively failed (collapsed server / rejection, retries exhausted).
+    FAILED = "failed"
+
+
+@dataclass
+class TaskAttempt:
+    """One execution attempt of a task on one server."""
+
+    server: str
+    mapped_at: float
+    started_at: Optional[float] = None
+    input_done_at: Optional[float] = None
+    compute_done_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    failed_at: Optional[float] = None
+    failure_reason: Optional[str] = None
+    #: Unloaded phase costs on the attempt's server, recorded by the server at
+    #: submission time (lets the stretch metric work on custom platforms whose
+    #: costs are not in the static catalogue).
+    unloaded_costs: Optional[PhaseCosts] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether this attempt ran to completion."""
+        return self.finished_at is not None
+
+
+@dataclass
+class Task:
+    """A client request for one problem.
+
+    Parameters
+    ----------
+    task_id:
+        Unique identifier within a run (also used to pair tasks between runs
+        when counting "tasks that finish sooner").
+    problem:
+        The static problem description.
+    arrival:
+        Date at which the client submits the request to the agent
+        (``a_i`` in the paper's notation).
+    client:
+        Name of the submitting client.
+    """
+
+    task_id: str
+    problem: ProblemSpec
+    arrival: float
+    client: str = "client"
+    status: TaskStatus = TaskStatus.PENDING
+    attempts: List[TaskAttempt] = field(default_factory=list)
+    completion_time: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle helpers (used by the middleware)
+    # ------------------------------------------------------------------ #
+    def new_attempt(self, server: str, mapped_at: float) -> TaskAttempt:
+        """Record the mapping of the task on ``server`` at ``mapped_at``."""
+        attempt = TaskAttempt(server=server, mapped_at=mapped_at)
+        self.attempts.append(attempt)
+        self.status = TaskStatus.RUNNING
+        return attempt
+
+    def mark_completed(self, at: float) -> None:
+        """Record successful completion at date ``at``."""
+        self.status = TaskStatus.COMPLETED
+        self.completion_time = at
+        if self.attempts:
+            self.attempts[-1].finished_at = at
+
+    def mark_failed(self, at: float, reason: str) -> None:
+        """Record the failure of the current attempt (the task may be retried)."""
+        if self.attempts:
+            self.attempts[-1].failed_at = at
+            self.attempts[-1].failure_reason = reason
+        self.status = TaskStatus.FAILED
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> bool:
+        """Whether the task ran to successful completion."""
+        return self.status is TaskStatus.COMPLETED and self.completion_time is not None
+
+    @property
+    def server(self) -> Optional[str]:
+        """Server of the last (or only) attempt, if any."""
+        return self.attempts[-1].server if self.attempts else None
+
+    @property
+    def n_attempts(self) -> int:
+        """Number of execution attempts (> 1 only with fault tolerance)."""
+        return len(self.attempts)
+
+    @property
+    def flow(self) -> Optional[float]:
+        """Time spent in the system, ``C_i - a_i`` (``None`` if not completed)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival
+
+    def unloaded_duration(self, server: Optional[str] = None) -> float:
+        """Duration the task would take alone on ``server`` (default: its own).
+
+        This is the ``rho_i`` of the max-stretch metric: the time the task
+        takes on the same but unloaded server (Section 3).
+        """
+        if server is None and self.attempts and self.attempts[-1].unloaded_costs is not None:
+            return self.attempts[-1].unloaded_costs.total
+        target = server or self.server
+        if target is None:
+            raise ValueError(f"task {self.task_id} has not been mapped to any server")
+        return self.costs_on(target).total
+
+    def costs_on(self, server: str) -> PhaseCosts:
+        """Unloaded phase costs of this task's problem on ``server``."""
+        return self.problem.costs_on(server)
+
+    @property
+    def stretch(self) -> Optional[float]:
+        """Slowdown factor ``flow / unloaded_duration`` (``None`` if not completed)."""
+        if self.flow is None:
+            return None
+        rho = self.unloaded_duration()
+        return self.flow / rho if rho > 0 else float("inf")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Task {self.task_id} problem={self.problem.name} arrival={self.arrival:.2f} "
+            f"status={self.status.value}>"
+        )
+
+
+def task_id_factory(prefix: str = "task"):
+    """Return a callable producing ``prefix-000001`` style unique task ids."""
+    counter = itertools.count(1)
+
+    def make() -> str:
+        return f"{prefix}-{next(counter):06d}"
+
+    return make

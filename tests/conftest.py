@@ -1,0 +1,110 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, ExperimentScale
+from repro.platform.faults import FaultTolerancePolicy, MemoryModel, SpeedNoiseModel
+from repro.platform.middleware import GridMiddleware, MiddlewareConfig
+from repro.platform.spec import MachineRole, MachineSpec, PlatformSpec
+from repro.simulation import Environment
+from repro.workload.problems import PAPER_CATALOGUE, matmul_problem, wastecpu_problem
+from repro.workload.tasks import Task
+from repro.workload.testbed import (
+    first_set_platform,
+    matmul_metatask,
+    second_set_platform,
+    wastecpu_metatask,
+)
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def catalogue():
+    """The paper's problem catalogue (Tables 3 and 4)."""
+    return PAPER_CATALOGUE
+
+
+@pytest.fixture
+def first_platform() -> PlatformSpec:
+    """Testbed of the first experiment set."""
+    return first_set_platform()
+
+
+@pytest.fixture
+def second_platform() -> PlatformSpec:
+    """Testbed of the second experiment set."""
+    return second_set_platform()
+
+
+@pytest.fixture
+def quiet_config() -> MiddlewareConfig:
+    """A middleware configuration without noise or memory effects.
+
+    Used by tests that assert exact timings: the ground truth then matches
+    the HTM model perfectly.
+    """
+    return MiddlewareConfig(
+        memory_enabled=False,
+        noise_model=None,
+        monitor_jitter_s=0.0,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def default_config() -> MiddlewareConfig:
+    """The default (paper-like) middleware configuration with a fixed seed."""
+    return MiddlewareConfig(seed=7)
+
+
+@pytest.fixture
+def small_matmul_metatask(rng):
+    """A small matrix-multiplication metatask (fast to simulate)."""
+    return matmul_metatask(count=30, mean_interarrival=20.0, rng=rng, name="test-matmul")
+
+
+@pytest.fixture
+def small_wastecpu_metatask(rng):
+    """A small waste-cpu metatask (fast to simulate)."""
+    return wastecpu_metatask(count=30, mean_interarrival=20.0, rng=rng, name="test-wastecpu")
+
+
+@pytest.fixture
+def smoke_experiment_config() -> ExperimentConfig:
+    """An experiment configuration small enough for unit tests."""
+    return ExperimentConfig(scale=ExperimentScale(name="tiny", task_count=40, metatask_count=1, repetitions=1))
+
+
+@pytest.fixture
+def make_task():
+    """Factory building tasks of catalogue problems with a running counter."""
+    counter = {"n": 0}
+
+    def factory(problem_name: str = "matmul-1200", arrival: float = 0.0) -> Task:
+        counter["n"] += 1
+        problem = PAPER_CATALOGUE.get(problem_name)
+        return Task(task_id=f"t{counter['n']:03d}", problem=problem, arrival=arrival)
+
+    return factory
+
+
+@pytest.fixture
+def single_server_platform() -> PlatformSpec:
+    """A platform with a single (artimon) server, used for exact-timing tests."""
+    from repro.workload.testbed import paper_platform
+
+    return paper_platform(["artimon"])

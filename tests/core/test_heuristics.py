@@ -1,0 +1,244 @@
+"""Tests of the scheduling heuristics on hand-crafted contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics import (
+    HEURISTIC_REGISTRY,
+    PAPER_HEURISTICS,
+    FastestServerHeuristic,
+    HmctHeuristic,
+    MctHeuristic,
+    MinLoadHeuristic,
+    MniHeuristic,
+    MpHeuristic,
+    MsfHeuristic,
+    RandomHeuristic,
+    RoundRobinHeuristic,
+    SchedulingContext,
+    ServerInfo,
+    available_heuristics,
+    create_heuristic,
+)
+from repro.core.htm import HistoricalTraceManager
+from repro.errors import NoCandidateServer, SchedulingError
+from repro.workload.problems import PhaseCosts, matmul_problem
+from repro.workload.tasks import Task
+
+
+def info(name, compute, load=0.0, correction=0, up=True, cpu_count=1, input_s=2.0, output_s=1.0):
+    return ServerInfo(
+        name=name,
+        costs=PhaseCosts(input_s, compute, output_s),
+        reported_load=load,
+        pending_correction=correction,
+        is_up=up,
+        cpu_count=cpu_count,
+    )
+
+
+def context_without_htm(task=None, servers=()):
+    task = task or Task(task_id="t", problem=matmul_problem(1200), arrival=0.0)
+    return SchedulingContext(now=0.0, task=task, servers=tuple(servers))
+
+
+def context_with_htm(servers=("artimon", "pulney"), now=0.0, task=None):
+    htm = HistoricalTraceManager()
+    infos = []
+    for server in servers:
+        htm.register_server(server, lambda p, s=server: p.costs_on(s))
+        infos.append(
+            ServerInfo(name=server, costs=matmul_problem(1200).costs_on(server))
+        )
+    task = task or Task(task_id="new", problem=matmul_problem(1200), arrival=now)
+    return SchedulingContext(now=now, task=task, servers=tuple(infos), htm=htm), htm
+
+
+class TestRegistry:
+    def test_paper_heuristics_are_registered(self):
+        for name in PAPER_HEURISTICS:
+            assert name in HEURISTIC_REGISTRY
+            assert create_heuristic(name).name == name
+
+    def test_available_heuristics_is_sorted(self):
+        names = available_heuristics()
+        assert names == sorted(names)
+        assert "msf" in names
+
+    def test_unknown_heuristic_raises(self):
+        with pytest.raises(SchedulingError):
+            create_heuristic("does-not-exist")
+
+    def test_kwargs_are_forwarded(self):
+        heuristic = create_heuristic("msf", memory_aware=True, memory_limits={"a": 10.0})
+        assert isinstance(heuristic, MsfHeuristic)
+        assert heuristic.memory_aware
+
+
+class TestMct:
+    def test_estimate_accounts_for_load(self):
+        heuristic = MctHeuristic()
+        idle = info("idle", compute=10.0, load=0.0)
+        busy = info("busy", compute=10.0, load=3.0)
+        assert heuristic.estimate_completion(idle, now=0.0) == pytest.approx(13.0)
+        assert heuristic.estimate_completion(busy, now=0.0) == pytest.approx(43.0)
+
+    def test_picks_minimum_estimated_completion(self):
+        heuristic = MctHeuristic()
+        decision = heuristic.select(
+            context_without_htm(servers=[info("slow", 100.0), info("fast", 10.0)])
+        )
+        assert decision.server == "fast"
+        assert decision.scores["slow"] > decision.scores["fast"]
+
+    def test_load_correction_steers_away_from_recently_loaded_server(self):
+        heuristic = MctHeuristic()
+        # "fast" got 5 assignments since the last report: MCT should avoid it.
+        fast = info("fast", compute=10.0, load=0.0, correction=5)
+        other = info("other", compute=30.0, load=0.0, correction=0)
+        assert heuristic.select(context_without_htm(servers=[fast, other])).server == "other"
+        # Without the correction mechanism it would still pick "fast".
+        uncorrected = MctHeuristic(use_load_correction=False)
+        assert uncorrected.select(context_without_htm(servers=[fast, other])).server == "fast"
+
+    def test_dual_cpu_increases_availability(self):
+        heuristic = MctHeuristic()
+        single = info("single", compute=10.0, load=1.0, cpu_count=1)
+        dual = info("dual", compute=10.0, load=1.0, cpu_count=2)
+        assert heuristic.estimate_completion(dual, 0.0) < heuristic.estimate_completion(single, 0.0)
+
+    def test_down_servers_are_excluded(self):
+        heuristic = MctHeuristic()
+        decision = heuristic.select(
+            context_without_htm(servers=[info("down", 1.0, up=False), info("up", 100.0)])
+        )
+        assert decision.server == "up"
+
+    def test_no_candidate_raises(self):
+        with pytest.raises(NoCandidateServer):
+            MctHeuristic().select(context_without_htm(servers=[info("down", 1.0, up=False)]))
+
+
+class TestHmct:
+    def test_requires_htm(self):
+        with pytest.raises(SchedulingError):
+            HmctHeuristic().select(context_without_htm(servers=[info("a", 1.0)]))
+
+    def test_picks_fastest_server_when_all_idle(self):
+        context, _ = context_with_htm()
+        decision = HmctHeuristic().select(context)
+        # pulney is the fastest for matmul-1200 (3 + 14 + 1 = 18s vs 22s).
+        assert decision.server == "pulney"
+        assert decision.estimated_completion == pytest.approx(18.0)
+
+    def test_accounts_for_already_mapped_tasks(self):
+        context, htm = context_with_htm()
+        # Load pulney with two large tasks: artimon becomes the better choice.
+        for i in range(2):
+            htm.commit("pulney", Task(f"busy{i}", matmul_problem(1800), arrival=0.0), now=0.0)
+        decision = HmctHeuristic().select(context)
+        assert decision.server == "artimon"
+
+    def test_predictions_are_cached_in_the_context(self):
+        context, _ = context_with_htm()
+        HmctHeuristic().select(context)
+        assert set(context.predictions) == {"artimon", "pulney"}
+
+
+class TestMp:
+    def test_tie_break_on_completion_when_no_perturbation(self):
+        context, _ = context_with_htm()
+        decision = MpHeuristic().select(context)
+        assert decision.server == "pulney"  # both perturbations are 0
+
+    def test_prefers_idle_slow_server_over_perturbing_fast_one(self):
+        context, htm = context_with_htm()
+        htm.commit("pulney", Task("running", matmul_problem(1800), arrival=0.0), now=0.0)
+        decision = MpHeuristic().select(context)
+        # mapping on pulney would delay "running"; artimon is idle.
+        assert decision.server == "artimon"
+        assert decision.scores["pulney"] > 0.0
+        assert decision.scores["artimon"] == pytest.approx(0.0)
+
+
+class TestMsf:
+    def test_balances_perturbation_and_new_task_flow(self):
+        context, htm = context_with_htm()
+        htm.commit("pulney", Task("running", matmul_problem(1200), arrival=0.0), now=0.0)
+        decision = MsfHeuristic().select(context)
+        # scores are sum_flow increases; the chosen server has the smallest one
+        assert decision.server in ("artimon", "pulney")
+        chosen_score = decision.scores[decision.server]
+        assert chosen_score == pytest.approx(min(decision.scores.values()))
+
+    def test_memory_aware_variant_skips_saturated_servers(self):
+        context, htm = context_with_htm()
+        heuristic = MsfHeuristic(memory_aware=True, memory_limits={"pulney": 50.0, "artimon": 1e9})
+        heuristic.notify_commit("pulney", 40.0)
+        task = context.task  # matmul-1200 needs ~33 MB: pulney would overflow
+        decision = heuristic.select(context)
+        assert decision.server == "artimon"
+        heuristic.notify_release("pulney", 40.0)
+        decision = heuristic.select(
+            SchedulingContext(now=0.0, task=task, servers=context.servers, htm=htm)
+        )
+        assert decision.server == "pulney"
+
+    def test_memory_aware_falls_back_when_everything_is_saturated(self):
+        context, _ = context_with_htm()
+        heuristic = MsfHeuristic(memory_aware=True, memory_limits={"pulney": 1.0, "artimon": 1.0})
+        decision = heuristic.select(context)
+        assert decision.server in ("artimon", "pulney")
+
+
+class TestMni:
+    def test_minimises_number_of_perturbed_tasks(self):
+        context, htm = context_with_htm()
+        # pulney runs two tasks, artimon runs one bigger task.
+        htm.commit("pulney", Task("p1", matmul_problem(1200), arrival=0.0), now=0.0)
+        htm.commit("pulney", Task("p2", matmul_problem(1200), arrival=0.0), now=0.0)
+        htm.commit("artimon", Task("a1", matmul_problem(1800), arrival=0.0), now=0.0)
+        decision = MniHeuristic().select(context)
+        assert decision.server == "artimon"  # 1 perturbed task instead of 2
+
+
+class TestExtras:
+    def test_random_only_picks_live_candidates(self):
+        import numpy as np
+
+        heuristic = RandomHeuristic(rng=np.random.default_rng(0))
+        servers = [info("down", 1.0, up=False), info("a", 1.0), info("b", 1.0)]
+        for _ in range(20):
+            assert heuristic.select(context_without_htm(servers=servers)).server in ("a", "b")
+
+    def test_round_robin_cycles_in_name_order(self):
+        heuristic = RoundRobinHeuristic()
+        servers = [info("b", 1.0), info("a", 1.0)]
+        picks = [heuristic.select(context_without_htm(servers=servers)).server for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_min_load_prefers_least_loaded(self):
+        heuristic = MinLoadHeuristic()
+        decision = heuristic.select(
+            context_without_htm(servers=[info("busy", 1.0, load=4.0), info("idle", 50.0, load=0.0)])
+        )
+        assert decision.server == "idle"
+
+    def test_fastest_ignores_load_entirely(self):
+        heuristic = FastestServerHeuristic()
+        decision = heuristic.select(
+            context_without_htm(servers=[info("fast", 5.0, load=50.0), info("slow", 50.0)])
+        )
+        assert decision.server == "fast"
+
+
+class TestContext:
+    def test_server_lookup_and_unknown_server(self):
+        context = context_without_htm(servers=[info("a", 1.0)])
+        assert context.server("a").name == "a"
+        with pytest.raises(SchedulingError):
+            context.server("zzz")
+
+    def test_corrected_load_is_never_negative(self):
+        assert info("a", 1.0, load=0.0, correction=-5).corrected_load == 0.0

@@ -1,0 +1,189 @@
+"""Tests of the Section 3 metrics, comparisons, aggregation and reports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    aggregate_summaries,
+    aggregate_values,
+    compare_runs,
+    makespan,
+    max_flow,
+    max_stretch,
+    mean_flow,
+    render_markdown_table,
+    render_table,
+    stretches,
+    sum_flow,
+    summarize,
+    tasks_finishing_sooner,
+)
+from repro.metrics.flow import MetricSummary
+from repro.workload.problems import matmul_problem
+from repro.workload.tasks import Task
+
+
+def completed_task(task_id, arrival, completion, server="artimon", size=1200):
+    task = Task(task_id=task_id, problem=matmul_problem(size), arrival=arrival)
+    task.new_attempt(server, mapped_at=arrival)
+    task.mark_completed(completion)
+    return task
+
+
+def failed_task(task_id, arrival):
+    task = Task(task_id=task_id, problem=matmul_problem(1200), arrival=arrival)
+    task.new_attempt("artimon", mapped_at=arrival)
+    task.mark_failed(arrival + 5.0, "boom")
+    return task
+
+
+class TestFlowMetrics:
+    def test_hand_computed_values(self):
+        tasks = [
+            completed_task("a", arrival=0.0, completion=50.0),   # flow 50
+            completed_task("b", arrival=10.0, completion=40.0),  # flow 30
+            completed_task("c", arrival=20.0, completion=100.0), # flow 80
+        ]
+        assert makespan(tasks) == pytest.approx(100.0)
+        assert sum_flow(tasks) == pytest.approx(160.0)
+        assert max_flow(tasks) == pytest.approx(80.0)
+        assert mean_flow(tasks) == pytest.approx(160.0 / 3.0)
+        # artimon matmul-1200 unloaded duration = 22 s
+        assert max_stretch(tasks) == pytest.approx(80.0 / 22.0)
+        assert stretches(tasks)["b"] == pytest.approx(30.0 / 22.0)
+
+    def test_failed_tasks_are_excluded(self):
+        tasks = [completed_task("a", 0.0, 30.0), failed_task("x", 0.0)]
+        assert makespan(tasks) == pytest.approx(30.0)
+        assert sum_flow(tasks) == pytest.approx(30.0)
+        summary = summarize(tasks, "h")
+        assert summary.n_tasks == 2
+        assert summary.n_completed == 1
+
+    def test_empty_task_list(self):
+        assert makespan([]) == 0.0
+        assert sum_flow([]) == 0.0
+        assert max_flow([]) == 0.0
+        assert max_stretch([]) == 0.0
+        assert mean_flow([]) == 0.0
+        summary = summarize([], "h")
+        assert summary.n_tasks == 0 and summary.n_completed == 0
+
+    def test_summary_as_dict_is_rounded_and_labelled(self):
+        summary = summarize([completed_task("a", 0.0, 31.234567)], "msf")
+        payload = summary.as_dict()
+        assert payload["heuristic"] == "msf"
+        assert payload["makespan"] == pytest.approx(31.23)
+        assert payload["n_completed"] == 1
+
+    @given(
+        flows=st.lists(st.floats(min_value=0.1, max_value=500.0), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_between_metrics(self, flows):
+        tasks = [
+            completed_task(f"t{i}", arrival=float(i), completion=float(i) + flow)
+            for i, flow in enumerate(flows)
+        ]
+        assert max_flow(tasks) <= sum_flow(tasks) + 1e-9
+        assert mean_flow(tasks) <= max_flow(tasks) + 1e-9
+        assert makespan(tasks) >= max(flow for flow in flows) - 1e-9
+        assert max_stretch(tasks) >= 0.0
+
+
+class TestComparison:
+    def test_tasks_finishing_sooner_counts(self):
+        reference = [completed_task(f"t{i}", 0.0, 100.0 + i) for i in range(4)]
+        candidate = [
+            completed_task("t0", 0.0, 50.0),    # sooner
+            completed_task("t1", 0.0, 101.0),   # same date -> tied
+            completed_task("t2", 0.0, 150.0),   # later
+            completed_task("t3", 0.0, 90.0),    # sooner
+        ]
+        comparison = tasks_finishing_sooner(candidate, reference, "cand", "ref")
+        assert comparison.comparable == 4
+        assert comparison.sooner == 2
+        assert comparison.later == 1
+        assert comparison.tied == 1
+        assert comparison.sooner_fraction == pytest.approx(0.5)
+        assert comparison.mean_gain_s == pytest.approx((50.0 + 0.0 - 48.0 + 13.0) / 4.0)
+
+    def test_only_tasks_completed_by_both_runs_are_compared(self):
+        reference = [completed_task("a", 0.0, 10.0), failed_task("b", 0.0)]
+        candidate = [completed_task("a", 0.0, 5.0), completed_task("b", 0.0, 5.0)]
+        comparison = tasks_finishing_sooner(candidate, reference)
+        assert comparison.comparable == 1
+        assert comparison.sooner == 1
+
+    def test_compare_runs_requires_reference(self):
+        runs = {"mct": [completed_task("a", 0.0, 10.0)], "msf": [completed_task("a", 0.0, 8.0)]}
+        comparisons = compare_runs(runs, reference="mct")
+        assert set(comparisons) == {"msf"}
+        assert comparisons["msf"].sooner == 1
+        with pytest.raises(KeyError):
+            compare_runs(runs, reference="missing")
+
+
+class TestAggregation:
+    def test_aggregate_values_statistics(self):
+        aggregate = aggregate_values([10.0, 20.0, 30.0])
+        assert aggregate.n == 3
+        assert aggregate.mean == pytest.approx(20.0)
+        assert aggregate.minimum == 10.0
+        assert aggregate.maximum == 30.0
+        assert aggregate.std == pytest.approx(10.0)
+        assert aggregate.half_ci95 > 0.0
+        assert aggregate.as_dict()["mean"] == 20.0
+
+    def test_aggregate_of_empty_and_single_values(self):
+        assert aggregate_values([]).n == 0
+        single = aggregate_values([5.0])
+        assert single.std == 0.0
+        assert single.half_ci95 == 0.0
+
+    def test_aggregate_summaries_by_metric(self):
+        summaries = [
+            MetricSummary("h", 10, 10, 100.0, 1000.0, 50.0, 3.0, 100.0, 1.5),
+            MetricSummary("h", 10, 8, 120.0, 1200.0, 70.0, 5.0, 150.0, 2.5),
+        ]
+        aggregates = aggregate_summaries(summaries)
+        assert aggregates["makespan"].mean == pytest.approx(110.0)
+        assert aggregates["n_completed"].mean == pytest.approx(9.0)
+        assert aggregate_summaries([]) == {}
+
+
+class TestReportRendering:
+    def test_render_table_contains_all_cells(self):
+        columns = {
+            "mct": {"sumflow": 25922.0, "makespan": 9906.0},
+            "msf": {"sumflow": 19702.0, "makespan": 9905.0},
+        }
+        text = render_table(columns, title="Table 5", column_order=["mct", "msf"])
+        assert "Table 5" in text
+        assert "25922" in text and "19702" in text
+        assert text.index("mct") < text.index("msf")
+
+    def test_render_markdown_table_structure(self):
+        columns = {"mct": {"sumflow": 1.0}, "msf": {"sumflow": 2.0}}
+        markdown = render_markdown_table(columns)
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| metric |")
+        assert lines[1].startswith("|---")
+        assert any("sumflow" in line for line in lines)
+
+    def test_missing_cells_render_as_dash(self):
+        columns = {"mct": {"sumflow": 1.0}, "msf": {}}
+        assert "-" in render_table(columns)
+
+    def test_format_value_precision(self):
+        from repro.metrics.report import format_value
+
+        assert format_value(None) == "-"
+        assert format_value("text") == "text"
+        assert format_value(500) == "500"
+        assert format_value(10162.0) == "10162"
+        assert format_value(12.84) == "12.8"
+        assert format_value(3.7123) == "3.71"

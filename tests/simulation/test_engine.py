@@ -1,0 +1,252 @@
+"""Unit tests of the discrete-event engine (environment, events, processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EmptySchedule, SimulationError
+from repro.simulation import Environment, Interrupt
+from repro.simulation.events import AllOf, AnyOf, Condition, ConditionValue
+
+
+class TestClockAndCalendar:
+    def test_initial_time_defaults_to_zero(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time_can_be_set(self):
+        assert Environment(initial_time=42.5).now == 42.5
+
+    def test_step_on_empty_calendar_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_returns_infinity_when_empty(self, env):
+        assert env.peek() == float("inf")
+
+    def test_timeout_advances_clock(self, env):
+        env.timeout(10.0)
+        env.run()
+        assert env.now == 10.0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until_number_stops_at_that_time(self, env):
+        env.timeout(100.0)
+        env.run(until=30.0)
+        assert env.now == 30.0
+
+    def test_run_until_past_time_rejected(self, env):
+        env.run(until=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_events_processed_in_time_then_insertion_order(self, env):
+        order = []
+        for label, delay in (("b", 5.0), ("a", 1.0), ("c", 5.0)):
+            timeout = env.timeout(delay)
+            timeout.callbacks.append(lambda _evt, lab=label: order.append(lab))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_succeed_sets_value_and_ok(self, env):
+        event = env.event()
+        event.succeed("payload")
+        env.run()
+        assert event.processed
+        assert event.ok
+        assert event.value == "payload"
+
+    def test_double_trigger_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_fail_requires_an_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_unhandled_failed_event_raises_at_step(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_defused_failed_event_does_not_raise(self, env):
+        event = env.event()
+        event.fail(RuntimeError("boom"))
+        event.defused = True
+        env.run()
+        assert not event.ok
+
+
+class TestProcesses:
+    def test_process_return_value_is_event_value(self, env):
+        def worker():
+            yield env.timeout(3.0)
+            return "done"
+
+        process = env.process(worker())
+        value = env.run(until=process)
+        assert value == "done"
+        assert env.now == 3.0
+
+    def test_process_waits_for_multiple_timeouts(self, env):
+        log = []
+
+        def worker():
+            for delay in (1.0, 2.0, 3.0):
+                yield env.timeout(delay)
+                log.append(env.now)
+
+        env.process(worker())
+        env.run()
+        assert log == [1.0, 3.0, 6.0]
+
+    def test_process_can_wait_for_another_process(self, env):
+        def child():
+            yield env.timeout(5.0)
+            return 99
+
+        def parent():
+            result = yield env.process(child())
+            return result * 2
+
+        assert env.run(until=env.process(parent())) == 198
+
+    def test_process_exception_propagates_to_waiter(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("inner failure")
+
+        def parent():
+            yield env.process(failing())
+
+        with pytest.raises(ValueError, match="inner failure"):
+            env.run(until=env.process(parent()))
+
+    def test_yielding_a_non_event_fails_the_process(self, env):
+        def bad():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            env.run(until=env.process(bad()))
+
+    def test_interrupt_is_raised_inside_process(self, env):
+        caught = []
+
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                caught.append((exc.cause, env.now))
+
+        victim_process = env.process(victim())
+
+        def attacker():
+            yield env.timeout(10.0)
+            victim_process.interrupt("stop it")
+
+        env.process(attacker())
+        env.run(until=victim_process)
+        assert caught == [("stop it", 10.0)]
+        assert env.now == 10.0
+
+    def test_interrupting_finished_process_raises(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_run_until_event_that_never_triggers_raises(self, env):
+        pending = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=pending)
+
+    def test_active_process_is_none_between_steps(self, env):
+        def worker():
+            yield env.timeout(1.0)
+
+        env.process(worker())
+        env.run()
+        assert env.active_process is None
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        def worker():
+            t1, t2 = env.timeout(2.0, value="a"), env.timeout(5.0, value="b")
+            result = yield env.all_of([t1, t2])
+            return list(result.values())
+
+        assert env.run(until=env.process(worker())) == ["a", "b"]
+        assert env.now == 5.0
+
+    def test_any_of_returns_at_first_event(self, env):
+        def worker():
+            t1, t2 = env.timeout(2.0, value="fast"), env.timeout(5.0, value="slow")
+            result = yield env.any_of([t1, t2])
+            return list(result.values())
+
+        assert env.run(until=env.process(worker())) == ["fast"]
+        assert env.now == 2.0
+
+    def test_and_operator_builds_condition(self, env):
+        def worker():
+            yield env.timeout(1.0) & env.timeout(4.0)
+            return env.now
+
+        assert env.run(until=env.process(worker())) == 4.0
+
+    def test_or_operator_builds_condition(self, env):
+        def worker():
+            yield env.timeout(1.0) | env.timeout(4.0)
+            return env.now
+
+        assert env.run(until=env.process(worker())) == 1.0
+
+    def test_empty_all_of_triggers_immediately(self, env):
+        condition = env.all_of([])
+        env.run()
+        assert condition.processed
+        assert isinstance(condition.value, ConditionValue)
+        assert len(condition.value) == 0
+
+    def test_condition_value_behaves_like_mapping(self, env):
+        t1 = env.timeout(1.0, value=10)
+        t2 = env.timeout(2.0, value=20)
+        condition = env.all_of([t1, t2])
+        env.run()
+        value = condition.value
+        assert value[t1] == 10
+        assert t2 in value
+        assert dict(value.items())[t2] == 20
+        assert value == {t1: 10, t2: 20}
+
+    def test_condition_propagates_failure(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("nope")
+
+        def worker():
+            yield env.all_of([env.process(failing()), env.timeout(10.0)])
+
+        with pytest.raises(RuntimeError, match="nope"):
+            env.run(until=env.process(worker()))
+
+    def test_condition_requires_same_environment(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            Condition(env, Condition.all_events, [env.timeout(1), other.timeout(1)])

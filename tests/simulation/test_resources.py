@@ -1,0 +1,176 @@
+"""Unit tests of the Resource / Container / Store primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Container, Environment, Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_requests_within_capacity_granted_immediately(self, env):
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def user(name):
+            with resource.request() as request:
+                yield request
+                log.append((name, env.now))
+                yield env.timeout(5.0)
+
+        env.process(user("a"))
+        env.process(user("b"))
+        env.run()
+        assert log == [("a", 0.0), ("b", 0.0)]
+
+    def test_excess_requests_wait_for_release(self, env):
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(name, hold):
+            with resource.request() as request:
+                yield request
+                log.append((name, env.now))
+                yield env.timeout(hold)
+
+        env.process(user("first", 10.0))
+        env.process(user("second", 5.0))
+        env.run()
+        assert log == [("first", 0.0), ("second", 10.0)]
+        assert resource.count == 0
+
+    def test_fifo_ordering_of_waiters(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(name):
+            with resource.request() as request:
+                yield request
+                order.append(name)
+                yield env.timeout(1.0)
+
+        for name in ("a", "b", "c"):
+            env.process(user(name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_count_and_queue_lengths(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert resource.count == 1
+        assert len(resource.queue) == 1
+        resource.release(first)
+        env.run()
+        assert second.triggered
+
+
+class TestContainer:
+    def test_initial_level_and_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=10.0, init=20.0)
+        container = Container(env, capacity=10.0, init=3.0)
+        assert container.level == 3.0
+
+    def test_get_waits_for_put(self, env):
+        container = Container(env)
+        times = []
+
+        def consumer():
+            yield container.get(5.0)
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(7.0)
+            yield container.put(5.0)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [7.0]
+        assert container.level == 0.0
+
+    def test_put_waits_when_full(self, env):
+        container = Container(env, capacity=10.0, init=10.0)
+        times = []
+
+        def producer():
+            yield container.put(5.0)
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield container.get(6.0)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [3.0]
+
+    def test_non_positive_amounts_rejected(self, env):
+        container = Container(env)
+        with pytest.raises(ValueError):
+            container.put(0.0)
+        with pytest.raises(ValueError):
+            container.get(-1.0)
+
+
+class TestStore:
+    def test_items_are_fifo(self, env):
+        store = Store(env)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        def producer():
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+                yield env.timeout(1.0)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == ["x", "y", "z"]
+
+    def test_get_blocks_until_item_available(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer():
+            yield store.get()
+            times.append(env.now)
+
+        def producer():
+            yield env.timeout(4.0)
+            yield store.put(1)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [4.0]
+
+    def test_capacity_bounds_pending_items(self, env):
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            done.append(env.now)
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert done == [5.0]
+        assert len(store) == 1

@@ -1,0 +1,139 @@
+"""Tests of the problem catalogue (Tables 3 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownProblem
+from repro.workload.problems import (
+    MATMUL_PROBLEMS,
+    PAPER_CATALOGUE,
+    WASTECPU_PROBLEMS,
+    PhaseCosts,
+    ProblemCatalogue,
+    ProblemSpec,
+    matmul_problem,
+    wastecpu_problem,
+)
+
+
+class TestPhaseCosts:
+    def test_total_is_sum_of_phases(self):
+        costs = PhaseCosts(2.0, 10.0, 1.0)
+        assert costs.total == pytest.approx(13.0)
+
+    def test_scaled_multiplies_every_phase(self):
+        costs = PhaseCosts(2.0, 10.0, 1.0).scaled(2.0)
+        assert (costs.input_s, costs.compute_s, costs.output_s) == (4.0, 20.0, 2.0)
+
+
+class TestTable3Values:
+    """The measured values of Table 3 must be reproduced exactly."""
+
+    @pytest.mark.parametrize(
+        "size, server, expected_compute",
+        [
+            (1200, "chamagne", 149.0),
+            (1200, "cabestan", 70.0),
+            (1200, "artimon", 18.0),
+            (1200, "pulney", 14.0),
+            (1500, "chamagne", 292.0),
+            (1500, "pulney", 25.0),
+            (1800, "chamagne", 504.0),
+            (1800, "cabestan", 231.0),
+            (1800, "artimon", 53.0),
+            (1800, "pulney", 40.0),
+        ],
+    )
+    def test_compute_costs(self, size, server, expected_compute):
+        assert matmul_problem(size).costs_on(server).compute_s == expected_compute
+
+    @pytest.mark.parametrize(
+        "size, input_mb, output_mb",
+        [(1200, 21.97, 10.98), (1500, 34.33, 17.16), (1800, 49.43, 24.72)],
+    )
+    def test_memory_needs(self, size, input_mb, output_mb):
+        problem = matmul_problem(size)
+        assert problem.input_mb == input_mb
+        assert problem.output_mb == output_mb
+        assert problem.memory_mb == pytest.approx(input_mb + output_mb)
+
+    def test_all_three_sizes_present(self):
+        assert set(MATMUL_PROBLEMS) == {"matmul-1200", "matmul-1500", "matmul-1800"}
+
+    def test_every_matmul_has_the_four_first_set_servers(self):
+        for problem in MATMUL_PROBLEMS.values():
+            assert set(problem.known_servers()) == {"chamagne", "cabestan", "artimon", "pulney"}
+
+
+class TestTable4Values:
+    @pytest.mark.parametrize(
+        "param, server, expected_compute",
+        [
+            (200, "valette", 91.81),
+            (200, "spinnaker", 16.0),
+            (200, "cabestan", 74.86),
+            (200, "artimon", 17.1),
+            (400, "valette", 182.52),
+            (400, "spinnaker", 30.6),
+            (600, "cabestan", 222.26),
+            (600, "artimon", 49.4),
+        ],
+    )
+    def test_compute_costs(self, param, server, expected_compute):
+        assert wastecpu_problem(param).costs_on(server).compute_s == expected_compute
+
+    def test_wastecpu_memory_is_negligible(self):
+        for problem in WASTECPU_PROBLEMS.values():
+            assert problem.memory_mb < 1.0
+
+    def test_every_wastecpu_has_the_four_second_set_servers(self):
+        for problem in WASTECPU_PROBLEMS.values():
+            assert set(problem.known_servers()) == {"valette", "spinnaker", "cabestan", "artimon"}
+
+
+class TestGenericCostModel:
+    def test_unknown_server_uses_speed_and_bandwidth(self):
+        problem = matmul_problem(1200)
+        costs = problem.costs_on("unknown-host", speed_mflops=1000.0, bandwidth_mb_s=10.0)
+        assert costs.compute_s == pytest.approx(problem.compute_mflop / 1000.0)
+        assert costs.input_s == pytest.approx(problem.input_mb / 10.0 + 0.01)
+
+    def test_unknown_server_without_speed_raises(self):
+        with pytest.raises(UnknownProblem):
+            matmul_problem(1200).costs_on("unknown-host")
+
+    def test_faster_speed_means_smaller_compute_cost(self):
+        problem = wastecpu_problem(400)
+        slow = problem.costs_on("x", speed_mflops=100.0)
+        fast = problem.costs_on("x", speed_mflops=1000.0)
+        assert fast.compute_s < slow.compute_s
+
+
+class TestCatalogue:
+    def test_paper_catalogue_has_six_problems(self):
+        assert len(PAPER_CATALOGUE) == 6
+
+    def test_get_unknown_problem_raises(self):
+        with pytest.raises(UnknownProblem):
+            PAPER_CATALOGUE.get("matmul-9999")
+
+    def test_unknown_factory_lookups_raise(self):
+        with pytest.raises(UnknownProblem):
+            matmul_problem(999)
+        with pytest.raises(UnknownProblem):
+            wastecpu_problem(999)
+
+    def test_family_filtering(self):
+        assert {p.name for p in PAPER_CATALOGUE.family("matmul")} == set(MATMUL_PROBLEMS)
+        assert {p.name for p in PAPER_CATALOGUE.family("wastecpu")} == set(WASTECPU_PROBLEMS)
+
+    def test_add_and_contains(self):
+        catalogue = ProblemCatalogue()
+        problem = ProblemSpec(
+            name="custom", family="custom", parameter=1, input_mb=1.0, output_mb=1.0, compute_mflop=10.0
+        )
+        catalogue.add(problem)
+        assert "custom" in catalogue
+        assert catalogue.get("custom") is problem
+        assert catalogue.names() == ("custom",)

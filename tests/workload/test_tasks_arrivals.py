@@ -1,0 +1,166 @@
+"""Tests of tasks, arrival processes and metatask generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import (
+    FixedIntervalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    UniformArrivals,
+)
+from repro.workload.metatask import Metatask, generate_metatask
+from repro.workload.problems import MATMUL_PROBLEMS, PAPER_CATALOGUE
+from repro.workload.tasks import Task, TaskStatus, task_id_factory
+
+
+class TestTaskLifecycle:
+    def test_new_task_is_pending(self, make_task):
+        task = make_task()
+        assert task.status is TaskStatus.PENDING
+        assert not task.completed
+        assert task.flow is None
+        assert task.server is None
+
+    def test_attempt_and_completion(self, make_task):
+        task = make_task("matmul-1200", arrival=10.0)
+        task.new_attempt("artimon", mapped_at=10.0)
+        assert task.status is TaskStatus.RUNNING
+        task.mark_completed(40.0)
+        assert task.completed
+        assert task.flow == pytest.approx(30.0)
+        assert task.server == "artimon"
+        assert task.attempts[-1].finished_at == 40.0
+
+    def test_stretch_uses_unloaded_duration_on_the_chosen_server(self, make_task):
+        task = make_task("matmul-1200", arrival=0.0)
+        task.new_attempt("artimon", mapped_at=0.0)
+        task.mark_completed(44.0)  # unloaded duration on artimon = 3 + 18 + 1 = 22
+        assert task.unloaded_duration() == pytest.approx(22.0)
+        assert task.stretch == pytest.approx(2.0)
+
+    def test_failure_then_retry_records_attempts(self, make_task):
+        task = make_task()
+        task.new_attempt("pulney", mapped_at=0.0)
+        task.mark_failed(5.0, "server collapsed")
+        assert task.status is TaskStatus.FAILED
+        assert task.attempts[-1].failure_reason == "server collapsed"
+        task.new_attempt("cabestan", mapped_at=10.0)
+        task.mark_completed(100.0)
+        assert task.completed
+        assert task.n_attempts == 2
+
+    def test_unloaded_duration_without_mapping_raises(self, make_task):
+        with pytest.raises(ValueError):
+            make_task().unloaded_duration()
+
+    def test_task_id_factory_produces_unique_ids(self):
+        factory = task_id_factory("x")
+        ids = {factory() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("x-") for i in ids)
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_close_to_requested(self, rng):
+        dates = PoissonArrivals(mean_interarrival=20.0).dates(4000, rng)
+        gaps = np.diff([0.0] + dates)
+        assert np.mean(gaps) == pytest.approx(20.0, rel=0.1)
+
+    def test_poisson_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_poisson_first_at_offset(self, rng):
+        dates = PoissonArrivals(10.0, first_at=5.0).dates(10, rng)
+        assert dates[0] == pytest.approx(5.0)
+
+    def test_fixed_interval_is_deterministic(self):
+        dates = FixedIntervalArrivals(interval=3.0, first_at=1.0).dates(4)
+        assert dates == [1.0, 4.0, 7.0, 10.0]
+
+    def test_uniform_bounds_respected(self, rng):
+        dates = UniformArrivals(2.0, 4.0).dates(100, rng)
+        gaps = np.diff([0.0] + dates)
+        assert np.all(gaps >= 2.0 - 1e-9)
+        assert np.all(gaps <= 4.0 + 1e-9)
+
+    def test_trace_replay_and_length_check(self):
+        trace = TraceArrivals([3.0, 1.0, 2.0])
+        assert trace.dates(3) == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            trace.dates(4)
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_poisson_dates_are_sorted_and_non_negative(self, count):
+        dates = PoissonArrivals(5.0).dates(count, np.random.default_rng(0))
+        assert len(dates) == count
+        assert all(d >= 0 for d in dates)
+        assert dates == sorted(dates)
+
+
+class TestMetatask:
+    def test_generation_respects_count_and_problems(self, rng):
+        problems = list(MATMUL_PROBLEMS.values())
+        metatask = generate_metatask("m", problems, 200, PoissonArrivals(20.0), rng)
+        assert len(metatask) == 200
+        assert set(metatask.problem_mix()) <= {p.name for p in problems}
+
+    def test_uniform_mix_is_roughly_balanced(self, rng):
+        problems = list(MATMUL_PROBLEMS.values())
+        metatask = generate_metatask("m", problems, 3000, PoissonArrivals(1.0), rng)
+        mix = metatask.problem_mix()
+        for count in mix.values():
+            assert count == pytest.approx(1000, rel=0.2)
+
+    def test_weighted_mix(self, rng):
+        problems = list(MATMUL_PROBLEMS.values())
+        metatask = generate_metatask(
+            "m", problems, 500, PoissonArrivals(1.0), rng, problem_weights=[1.0, 0.0, 0.0]
+        )
+        assert metatask.problem_mix() == {problems[0].name: 500}
+
+    def test_instantiate_produces_fresh_pending_tasks(self, rng):
+        metatask = generate_metatask(
+            "m", list(MATMUL_PROBLEMS.values()), 10, PoissonArrivals(5.0), rng
+        )
+        first = metatask.instantiate()
+        second = metatask.instantiate()
+        assert len(first) == len(second) == 10
+        assert all(t.status is TaskStatus.PENDING for t in first)
+        assert first[0] is not second[0]
+        assert first[0].task_id == second[0].task_id
+        assert [t.arrival for t in first] == [item.arrival for item in metatask]
+
+    def test_with_arrivals_keeps_tasks_but_changes_dates(self, rng):
+        metatask = generate_metatask(
+            "m", list(MATMUL_PROBLEMS.values()), 5, PoissonArrivals(5.0), rng
+        )
+        rearrived = metatask.with_arrivals([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert [item.arrival for item in rearrived] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert [item.problem.name for item in rearrived] == [
+            item.problem.name for item in metatask
+        ]
+        with pytest.raises(WorkloadError):
+            metatask.with_arrivals([1.0])
+
+    def test_generation_validations(self, rng):
+        problems = list(MATMUL_PROBLEMS.values())
+        with pytest.raises(WorkloadError):
+            generate_metatask("m", problems, 0, PoissonArrivals(5.0), rng)
+        with pytest.raises(WorkloadError):
+            generate_metatask("m", [], 5, PoissonArrivals(5.0), rng)
+        with pytest.raises(WorkloadError):
+            generate_metatask("m", problems, 5, PoissonArrivals(5.0), rng, problem_weights=[1.0])
+
+    def test_makespan_lower_bound_is_last_arrival(self, rng):
+        metatask = generate_metatask(
+            "m", list(MATMUL_PROBLEMS.values()), 20, PoissonArrivals(5.0), rng
+        )
+        assert metatask.makespan_lower_bound == pytest.approx(max(i.arrival for i in metatask))

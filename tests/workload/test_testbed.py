@@ -1,0 +1,105 @@
+"""Tests of the paper-testbed factories (Table 2 platforms, metatask builders)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platform.spec import MachineRole, PAPER_MACHINES
+from repro.workload.testbed import (
+    FIRST_SET_SERVERS,
+    SECOND_SET_SERVERS,
+    first_set_platform,
+    matmul_metatask,
+    paper_platform,
+    second_set_platform,
+    synthetic_platform,
+    wastecpu_metatask,
+)
+
+
+class TestPaperMachines:
+    """Table 2 of the paper must be encoded faithfully."""
+
+    @pytest.mark.parametrize(
+        "name, mhz, memory, swap",
+        [
+            ("chamagne", 330.0, 512.0, 134.0),
+            ("cabestan", 500.0, 192.0, 400.0),
+            ("artimon", 1700.0, 512.0, 1024.0),
+            ("pulney", 1400.0, 256.0, 533.0),
+            ("valette", 400.0, 128.0, 126.0),
+            ("spinnaker", 2000.0, 1024.0, 2048.0),
+        ],
+    )
+    def test_server_rows(self, name, mhz, memory, swap):
+        spec = PAPER_MACHINES[name]
+        assert spec.role == MachineRole.SERVER
+        assert spec.speed_mhz == mhz
+        assert spec.memory_mb == memory
+        assert spec.swap_mb == swap
+
+    def test_agent_and_client_rows(self):
+        assert PAPER_MACHINES["xrousse"].role == MachineRole.AGENT
+        assert PAPER_MACHINES["xrousse"].cpu_count == 2  # "pentium II bipro"
+        assert PAPER_MACHINES["zanzibar"].role == MachineRole.CLIENT
+
+    def test_collapse_threshold_accounts_for_swap_and_reservation(self):
+        spec = PAPER_MACHINES["pulney"]
+        assert spec.usable_memory_mb == pytest.approx(256.0 - spec.os_reserved_mb)
+        assert spec.collapse_threshold_mb == pytest.approx(spec.usable_memory_mb + 533.0)
+
+
+class TestPlatformFactories:
+    def test_first_set_platform_servers(self, first_platform):
+        assert set(first_platform.server_names()) == set(FIRST_SET_SERVERS)
+        assert first_platform.agent_name == "xrousse"
+        assert first_platform.client_names() == ("zanzibar",)
+
+    def test_second_set_platform_servers(self, second_platform):
+        assert set(second_platform.server_names()) == set(SECOND_SET_SERVERS)
+
+    def test_single_cpu_by_default(self, first_platform):
+        for name in first_platform.server_names():
+            assert first_platform.machine(name).cpu_count == 1
+
+    def test_dual_cpu_xeons_option(self):
+        platform = second_set_platform(dual_cpu_xeons=True)
+        assert platform.machine("spinnaker").cpu_count == 2
+        assert platform.machine("artimon").cpu_count == 1
+        first = first_set_platform(dual_cpu_xeons=True)
+        assert first.machine("pulney").cpu_count == 2
+
+    def test_paper_platform_with_single_server(self):
+        platform = paper_platform(["artimon"])
+        assert platform.server_names() == ("artimon",)
+
+    def test_synthetic_platform_roles_and_count(self):
+        platform = synthetic_platform(n_servers=3)
+        assert len(platform.server_names()) == 3
+        assert len(platform.agent_names()) == 1
+        assert len(platform.client_names()) == 1
+        with pytest.raises(ValueError):
+            synthetic_platform(n_servers=0)
+
+
+class TestMetataskFactories:
+    def test_matmul_metatask_uses_only_matmul_problems(self, rng):
+        metatask = matmul_metatask(count=50, mean_interarrival=20.0, rng=rng)
+        assert len(metatask) == 50
+        assert all(item.problem.family == "matmul" for item in metatask)
+
+    def test_wastecpu_metatask_uses_only_wastecpu_problems(self, rng):
+        metatask = wastecpu_metatask(count=50, mean_interarrival=20.0, rng=rng)
+        assert all(item.problem.family == "wastecpu" for item in metatask)
+
+    def test_same_rng_seed_reproduces_the_same_metatask(self):
+        a = matmul_metatask(30, 20.0, rng=np.random.default_rng(5))
+        b = matmul_metatask(30, 20.0, rng=np.random.default_rng(5))
+        assert [i.problem.name for i in a] == [i.problem.name for i in b]
+        assert [i.arrival for i in a] == [i.arrival for i in b]
+
+    def test_rate_controls_arrival_span(self):
+        slow = matmul_metatask(200, 30.0, rng=np.random.default_rng(1))
+        fast = matmul_metatask(200, 10.0, rng=np.random.default_rng(1))
+        assert fast.makespan_lower_bound < slow.makespan_lower_bound
