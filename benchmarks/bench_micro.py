@@ -54,12 +54,31 @@ def bench_fluid_network_three_phase_tasks(benchmark):
     assert benchmark(run) == 300
 
 
-def bench_htm_prediction_under_load(benchmark):
-    """One HTM what-if prediction on a server already loaded with 50 tasks."""
-    htm = HistoricalTraceManager()
+def _loaded_htm(incremental: bool) -> HistoricalTraceManager:
+    htm = HistoricalTraceManager(incremental_predictions=incremental)
     htm.register_server("artimon", lambda p: p.costs_on("artimon"))
     for i in range(50):
         htm.commit("artimon", Task(f"t{i}", matmul_problem(1500), arrival=0.0), now=float(i))
+    return htm
+
+
+def bench_htm_prediction_under_load(benchmark):
+    """One HTM what-if prediction on a server already loaded with 50 tasks.
+
+    Uses the default incremental mode: the "without" baseline is served from
+    the trace cache, so only the "with the new task" simulation runs per call.
+    Compare with :func:`bench_htm_prediction_under_load_legacy`.
+    """
+    htm = _loaded_htm(incremental=True)
+    new_task = Task("new", matmul_problem(1800), arrival=50.0)
+
+    prediction = benchmark(lambda: htm.predict("artimon", new_task, now=50.0))
+    assert prediction.new_task_completion > 50.0
+
+
+def bench_htm_prediction_under_load_legacy(benchmark):
+    """The same prediction with the legacy copy-and-rerun baseline path."""
+    htm = _loaded_htm(incremental=False)
     new_task = Task("new", matmul_problem(1800), arrival=50.0)
 
     prediction = benchmark(lambda: htm.predict("artimon", new_task, now=50.0))
@@ -90,3 +109,33 @@ def bench_full_middleware_run_mct_100_tasks(benchmark):
         return middleware.run(metatask).completed_count
 
     assert benchmark(run) == 100
+
+
+def _campaign_run(jobs: int) -> int:
+    """One 4-cell table campaign (all heuristics, 60 tasks) at a given parallelism."""
+    from repro.experiments import ExperimentConfig, ExperimentScale, run_campaign
+
+    config = ExperimentConfig(
+        scale=ExperimentScale(name="bench-campaign", task_count=60, metatask_count=1),
+        seed=1,
+    )
+    metatask = matmul_metatask(count=60, mean_interarrival=20.0, rng=np.random.default_rng(1))
+    table = run_campaign(
+        "bench", "bench", first_set_platform(), [metatask], config, jobs=jobs
+    )
+    return int(table.value("msf", "completed tasks"))
+
+
+def bench_campaign_four_heuristics_serial(benchmark):
+    """The campaign of :func:`_campaign_run` on the serial executor."""
+    assert benchmark(lambda: _campaign_run(jobs=1)) == 60
+
+
+def bench_campaign_four_heuristics_jobs4(benchmark):
+    """The same campaign on a 4-worker process pool (identical table).
+
+    Compared with the serial variant this measures the executor's scaling
+    behaviour: on a multi-core machine the four cells run concurrently; on a
+    single-core box it exposes the pool's fork/pickle overhead instead.
+    """
+    assert benchmark(lambda: _campaign_run(jobs=4)) == 60

@@ -55,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=2003, help="root random seed (default: 2003)")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for table campaigns; results are identical for "
+        "any value because run seeds derive from cell coordinates (default: 1)",
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown instead of plain text"
     )
     return parser
@@ -77,7 +85,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_experiments())
         return 0
 
-    config = ExperimentConfig(scale=_SCALES[args.scale], seed=args.seed)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    config = ExperimentConfig(scale=_SCALES[args.scale], seed=args.seed, jobs=args.jobs)
     result = run_experiment(args.experiment, config)
 
     if hasattr(result, "render_markdown") and args.markdown:

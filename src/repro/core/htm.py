@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 from ..errors import SchedulingError
@@ -52,6 +53,12 @@ class ServerTrace:
     network: FluidNetwork = None  # type: ignore[assignment]
     tasks: Dict[str, TracedTask] = field(default_factory=dict)
     next_local_number: int = 1
+    #: Cached free-run completion dates, valid while the network's structural
+    #: version is :attr:`_cache_version` (see :meth:`free_run_completions`).
+    _cached_completions: Optional[Dict[object, float]] = field(
+        default=None, repr=False, compare=False
+    )
+    _cache_version: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.network is None:
@@ -64,14 +71,44 @@ class ServerTrace:
         """Ids of the tasks the HTM believes are still running on the server."""
         return [str(key) for key in self.network.unfinished_keys()]
 
-    def predicted_completions(self) -> Dict[str, float]:
-        """Predicted completion date of every unfinished task (what-if free run)."""
-        clone = self.network.copy()
-        completions = clone.run_to_completion()
+    def free_run_completions(self) -> Mapping[object, float]:
+        """Completion date of every task if nothing more is mapped (cached).
+
+        The result is memoised against :attr:`FluidNetwork.version`: mapping,
+        removing or forgetting a task (or a capacity change) invalidates it,
+        whereas merely advancing the clock does not — a free run yields the
+        same absolute completion dates from any clock position.  This is the
+        fast path behind the HTM's incremental prediction mode: one baseline
+        simulation is shared by every candidate-server ``predict`` of a
+        scheduling decision instead of one fresh ``copy()`` +
+        ``run_to_completion()`` per candidate.
+        """
+        if self._cached_completions is None or self._cache_version != self.network.version:
+            self._cached_completions = dict(self.network.copy().run_to_completion())
+            self._cache_version = self.network.version
+        # Read-only view: a caller mutating the baseline would otherwise
+        # corrupt every later incremental prediction until the next
+        # structural mutation.
+        return MappingProxyType(self._cached_completions)
+
+    def invalidate_prediction_cache(self) -> None:
+        """Drop the memoised free-run baseline (forces a fresh simulation)."""
+        self._cached_completions = None
+        self._cache_version = -1
+
+    def predicted_completions(self, incremental: bool = True) -> Dict[str, float]:
+        """Predicted completion date of every unfinished task (what-if free run).
+
+        With ``incremental=False`` the free run is recomputed from a fresh
+        copy instead of the memoised baseline (the legacy A/B control arm).
+        """
+        unfinished = set(self.network.unfinished_keys())
+        if incremental:
+            completions = self.free_run_completions()
+        else:
+            completions = self.network.copy().run_to_completion()
         return {
-            str(key): value
-            for key, value in completions.items()
-            if key in set(self.network.unfinished_keys())
+            str(key): value for key, value in completions.items() if key in unfinished
         }
 
 
@@ -90,15 +127,27 @@ class HistoricalTraceManager:
     model_communication:
         When ``False`` the input/output transfer phases are ignored by the
         trace (compute-only model) — used by an ablation benchmark.
+    incremental_predictions:
+        When ``True`` (default), :meth:`predict` reuses a cached free-run
+        baseline (the "without the new task" simulation) of each server trace
+        instead of deep-copying and re-simulating the whole network per
+        candidate server.  The cache is invalidated automatically whenever the
+        trace mutates (``commit``, ``notify_completion``, ``notify_failure``,
+        ``clear_server``); advancing the clock keeps it valid.  Predictions
+        are numerically identical to the legacy copy-and-rerun path (up to
+        floating-point integration order, well below 1e-6 s); set to ``False``
+        to force the legacy path, e.g. for A/B benchmarking.
     """
 
     def __init__(
         self,
         resync_on_completion: bool = True,
         model_communication: bool = True,
+        incremental_predictions: bool = True,
     ):
         self.resync_on_completion = resync_on_completion
         self.model_communication = model_communication
+        self.incremental_predictions = incremental_predictions
         self._traces: Dict[str, ServerTrace] = {}
         self._placements: Dict[str, str] = {}  # task_id -> server name
 
@@ -156,9 +205,12 @@ class HistoricalTraceManager:
         trace.network.advance_to(now)
         unfinished = set(trace.network.unfinished_keys())
 
-        without = trace.network.copy()
+        if self.incremental_predictions:
+            baseline = trace.free_run_completions()
+        else:
+            baseline = trace.network.copy().run_to_completion()
         completions_without = {
-            str(k): v for k, v in without.run_to_completion().items() if k in unfinished
+            str(k): v for k, v in baseline.items() if k in unfinished
         }
 
         with_new = trace.network.copy()
@@ -277,7 +329,7 @@ class HistoricalTraceManager:
 
     def predicted_completions(self, server: str) -> Dict[str, float]:
         """Predicted completion dates of the unfinished tasks of ``server``."""
-        return self.trace(server).predicted_completions()
+        return self.trace(server).predicted_completions(incremental=self.incremental_predictions)
 
     def gantt(self, server: str, until_completion: bool = True) -> GanttChart:
         """Gantt chart of a server trace.

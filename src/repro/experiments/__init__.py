@@ -11,6 +11,16 @@ from .config import (
     ExperimentConfig,
     ExperimentScale,
 )
+from .campaign import (
+    CellWork,
+    MultiprocessingExecutor,
+    RunCell,
+    SerialExecutor,
+    create_executor,
+    derive_seed_offset,
+    plan_cells,
+    run_campaign,
+)
 from .fig1 import Fig1Result, run_fig1
 from .registry import EXPERIMENTS, ExperimentEntry, experiment_ids, get_experiment, run_experiment
 from .runner import HeuristicOutcome, TableResult, run_single, run_table_experiment
@@ -32,6 +42,14 @@ __all__ = [
     "HeuristicOutcome",
     "run_single",
     "run_table_experiment",
+    "run_campaign",
+    "RunCell",
+    "CellWork",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "create_executor",
+    "plan_cells",
+    "derive_seed_offset",
     "run_table1",
     "table1_metatasks",
     "ValidationResult",

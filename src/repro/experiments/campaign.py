@@ -1,0 +1,282 @@
+"""Campaign execution engine.
+
+The paper's result tables are means over many independent runs: every
+(heuristic × metatask × repetition) combination is one full middleware
+simulation.  Those runs share *no* mutable state — each one builds a fresh
+:class:`~repro.platform.middleware.GridMiddleware` seeded from its own
+coordinates — so a table experiment is embarrassingly parallel.
+
+This module makes that structure explicit:
+
+* :class:`RunCell` — one work unit, identified by its coordinates
+  ``(heuristic, metatask_index, repetition)``.  The middleware seed of a cell
+  is *derived from the coordinates* (:func:`derive_seed_offset`), never from
+  execution order, which is what makes the campaign deterministic: any
+  executor, any interleaving, same numbers.
+* executors — :class:`SerialExecutor` (in-process, the legacy behaviour) and
+  :class:`MultiprocessingExecutor` (a process pool, ``--jobs N`` from the
+  CLI).  Both preserve cell order in their result list.
+* :func:`run_campaign` — plans the cells, executes them, and reassembles a
+  :class:`~repro.experiments.runner.TableResult` exactly as the serial runner
+  would: reference (MCT) cells are assembled first so "tasks finishing
+  sooner" comparisons pair each run with the reference run of the *same*
+  (metatask, repetition) cell.
+
+``run_table_experiment`` in :mod:`repro.experiments.runner` is now a thin
+wrapper over :func:`run_campaign`, so every table, ablation and matrix
+campaign scales with cores through the same engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.heuristics import Heuristic, create_heuristic
+from ..errors import ExperimentError
+from ..metrics.comparison import tasks_finishing_sooner
+from ..metrics.flow import summarize
+from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
+from ..platform.spec import PlatformSpec
+from ..workload.metatask import Metatask
+from ..workload.problems import PAPER_CATALOGUE, ProblemCatalogue
+from .config import ExperimentConfig
+
+__all__ = [
+    "RunCell",
+    "CellWork",
+    "derive_seed_offset",
+    "plan_cells",
+    "execute_cell",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "create_executor",
+    "run_campaign",
+]
+
+
+def derive_seed_offset(metatask_index: int, repetition: int) -> int:
+    """Seed offset of one cell, derived from its coordinates only.
+
+    This is the scheme the serial runner has always used: repetitions of the
+    same metatask get consecutive seeds, distinct metatasks are 1000 apart.
+    Because the offset depends only on ``(metatask_index, repetition)`` — not
+    on the heuristic and not on when the cell happens to execute — every
+    heuristic replays the same platform noise for a given cell, and parallel
+    execution cannot change any number.
+    """
+    return metatask_index * 1000 + repetition
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """Coordinates of one independent middleware run of a campaign."""
+
+    heuristic: str
+    metatask_index: int
+    repetition: int
+    seed_offset: int
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """The (metatask, repetition) pair used to pair runs across heuristics."""
+        return (self.metatask_index, self.repetition)
+
+
+@dataclass(frozen=True)
+class CellWork:
+    """A :class:`RunCell` bundled with everything needed to execute it.
+
+    The bundle is picklable (platform, metatask and configuration are frozen
+    value objects), which is what lets :class:`MultiprocessingExecutor` ship
+    it to worker processes.  ``heuristic_factory`` is ``None`` for registry
+    heuristics (the worker builds a fresh instance by name); an explicit
+    instance is reused in-process by the serial executor and *copied* (via
+    pickle) by the multiprocessing one — identical results for the stateless
+    heuristics of the paper.
+    """
+
+    cell: RunCell
+    platform: PlatformSpec
+    metatask: Metatask
+    middleware_config: MiddlewareConfig
+    catalogue: ProblemCatalogue
+    heuristic_factory: Optional[Heuristic] = None
+
+
+def plan_cells(config: ExperimentConfig, metatask_count: int) -> List[RunCell]:
+    """Decompose an experiment into its cells, reference heuristic first.
+
+    The order is the canonical assembly order (and the execution order of the
+    serial executor): heuristics with the reference moved to the front, then
+    metatasks, then repetitions.
+    """
+    heuristics: List[str] = list(config.heuristics)
+    if config.reference in heuristics:
+        heuristics.remove(config.reference)
+        heuristics.insert(0, config.reference)
+    return [
+        RunCell(
+            heuristic=name,
+            metatask_index=metatask_index,
+            repetition=repetition,
+            seed_offset=derive_seed_offset(metatask_index, repetition),
+        )
+        for name in heuristics
+        for metatask_index in range(metatask_count)
+        for repetition in range(config.scale.repetitions)
+    ]
+
+
+def execute_cell(work: CellWork) -> RunResult:
+    """Execute one cell: a fresh middleware instance, one full run."""
+    heuristic: Union[str, Heuristic]
+    if work.heuristic_factory is not None:
+        heuristic = work.heuristic_factory
+    else:
+        heuristic = create_heuristic(work.cell.heuristic)
+    middleware = GridMiddleware(
+        platform=work.platform,
+        heuristic=heuristic,
+        catalogue=work.catalogue,
+        config=work.middleware_config,
+    )
+    return middleware.run(work.metatask)
+
+
+class SerialExecutor:
+    """Execute cells one after the other in the current process."""
+
+    jobs = 1
+
+    def __call__(self, work_items: Sequence[CellWork]) -> List[RunResult]:
+        return [execute_cell(work) for work in work_items]
+
+    def __repr__(self) -> str:
+        return "<SerialExecutor>"
+
+
+class MultiprocessingExecutor:
+    """Execute cells on a process pool of ``jobs`` workers.
+
+    ``Pool.map`` preserves input order, so the result list lines up with the
+    planned cells regardless of which worker finished first.
+    """
+
+    def __init__(self, jobs: int, chunksize: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.chunksize = chunksize
+
+    def __call__(self, work_items: Sequence[CellWork]) -> List[RunResult]:
+        work_items = list(work_items)
+        if not work_items:
+            return []
+        # No point forking more workers than there are cells.
+        processes = min(self.jobs, len(work_items))
+        if processes == 1:
+            return [execute_cell(work) for work in work_items]
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(execute_cell, work_items, chunksize=self.chunksize)
+
+    def __repr__(self) -> str:
+        return f"<MultiprocessingExecutor jobs={self.jobs}>"
+
+
+#: Signature shared by the executors: ordered cells in, ordered results out.
+CellExecutor = Callable[[Sequence[CellWork]], List[RunResult]]
+
+
+def create_executor(jobs: Optional[int]) -> CellExecutor:
+    """Executor for a requested parallelism level (``None``/``1`` → serial)."""
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return MultiprocessingExecutor(jobs)
+
+
+def run_campaign(
+    experiment_id: str,
+    title: str,
+    platform: PlatformSpec,
+    metatasks: Sequence[Metatask],
+    config: ExperimentConfig,
+    catalogue: ProblemCatalogue = PAPER_CATALOGUE,
+    heuristic_factories: Optional[Mapping[str, Heuristic]] = None,
+    notes: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[CellExecutor] = None,
+):
+    """Run a full table campaign and assemble its :class:`TableResult`.
+
+    ``jobs`` defaults to ``config.jobs``; an explicit ``executor`` (anything
+    mapping an ordered list of :class:`CellWork` to an ordered list of
+    :class:`RunResult`) overrides both — the pluggable backend hook.
+    """
+    from .runner import HeuristicOutcome, TableResult  # circular-import guard
+
+    metatasks = list(metatasks)
+    cells = plan_cells(config, len(metatasks))
+    work_items = [
+        CellWork(
+            cell=cell,
+            platform=platform,
+            metatask=metatasks[cell.metatask_index],
+            middleware_config=config.middleware_for(cell.heuristic, cell.seed_offset),
+            catalogue=catalogue,
+            heuristic_factory=(heuristic_factories or {}).get(cell.heuristic),
+        )
+        for cell in cells
+    ]
+    if executor is None:
+        executor = create_executor(config.jobs if jobs is None else jobs)
+    results = executor(work_items)
+    if len(results) != len(cells):
+        raise ExperimentError(
+            f"executor returned {len(results)} results for {len(cells)} cells"
+        )
+
+    # Assembly — identical to the historical serial loop: cells are ordered
+    # reference-first, so every reference run is recorded before the runs it
+    # is compared against.
+    outcomes: Dict[str, HeuristicOutcome] = {}
+    reference_runs: Dict[Tuple[int, int], RunResult] = {}
+    for cell, run in zip(cells, results):
+        outcome = outcomes.setdefault(cell.heuristic, HeuristicOutcome(cell.heuristic))
+        outcome.runs.append(run)
+        outcome.summaries.append(summarize(run.tasks, cell.heuristic))
+        if cell.heuristic == config.reference:
+            reference_runs[cell.key] = run
+        elif cell.key in reference_runs:
+            outcome.comparisons.append(
+                tasks_finishing_sooner(
+                    run.tasks,
+                    reference_runs[cell.key].tasks,
+                    cell.heuristic,
+                    config.reference,
+                )
+            )
+
+    columns: Dict[str, Dict[str, float]] = {}
+    for name, outcome in outcomes.items():
+        column: Dict[str, float] = {
+            "completed tasks": outcome.mean_metric("n_completed"),
+            "makespan": outcome.mean_metric("makespan"),
+            "sumflow": outcome.mean_metric("sum_flow"),
+            "maxflow": outcome.mean_metric("max_flow"),
+            "maxstretch": outcome.mean_metric("max_stretch"),
+        }
+        if name != config.reference and outcome.mean_sooner is not None:
+            column["tasks finishing sooner than MCT"] = outcome.mean_sooner
+        columns[name] = column
+
+    return TableResult(
+        experiment_id=experiment_id,
+        title=title,
+        columns=columns,
+        outcomes=outcomes,
+        notes=list(notes or []),
+    )

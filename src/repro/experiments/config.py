@@ -87,6 +87,9 @@ class ExperimentConfig:
     heuristics: Tuple[str, ...] = PAPER_HEURISTIC_ORDER
     reference: str = "mct"
     middleware: MiddlewareConfig = MiddlewareConfig()
+    #: Worker processes used by the campaign engine (1 = in-process serial).
+    #: Seeds derive from cell coordinates, so any value yields the same table.
+    jobs: int = 1
 
     def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
         """Return a copy using a different scale."""
@@ -95,6 +98,10 @@ class ExperimentConfig:
     def with_seed(self, seed: int) -> "ExperimentConfig":
         """Return a copy using a different root seed."""
         return replace(self, seed=seed)
+
+    def with_jobs(self, jobs: int) -> "ExperimentConfig":
+        """Return a copy using a different campaign parallelism level."""
+        return replace(self, jobs=jobs)
 
     def middleware_for(self, heuristic: str, seed_offset: int = 0) -> MiddlewareConfig:
         """Middleware configuration for a given heuristic run."""

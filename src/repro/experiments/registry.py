@@ -140,9 +140,22 @@ def get_experiment(experiment_id: str) -> ExperimentEntry:
         ) from None
 
 
-def run_experiment(experiment_id: str, config: Optional[ExperimentConfig] = None):
-    """Run one experiment by id, optionally at a custom scale."""
+def run_experiment(
+    experiment_id: str,
+    config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = None,
+):
+    """Run one experiment by id, optionally at a custom scale.
+
+    ``jobs`` overrides the campaign parallelism of the configuration: table
+    experiments then execute their (heuristic × metatask × repetition) cells
+    on a process pool of that size (see :mod:`repro.experiments.campaign`).
+    Experiments that do not take a configuration (validation, Fig. 1 and the
+    ablations) ignore it and run serially.
+    """
     entry = get_experiment(experiment_id)
     if entry.accepts_config:
+        if jobs is not None:
+            config = (config if config is not None else ExperimentConfig()).with_jobs(jobs)
         return entry.runner(config)
     return entry.runner()

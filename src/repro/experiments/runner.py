@@ -8,13 +8,13 @@ and the number of tasks that finish sooner than under NetSolve's MCT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from ..core.heuristics import Heuristic, create_heuristic
+from ..core.heuristics import Heuristic
 from ..metrics.aggregate import aggregate_values
-from ..metrics.comparison import PairwiseComparison, tasks_finishing_sooner
-from ..metrics.flow import MetricSummary, summarize
+from ..metrics.comparison import PairwiseComparison
+from ..metrics.flow import MetricSummary
 from ..metrics.report import render_markdown_table, render_table
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
@@ -124,66 +124,32 @@ def run_table_experiment(
     catalogue: ProblemCatalogue = PAPER_CATALOGUE,
     heuristic_factories: Optional[Mapping[str, Heuristic]] = None,
     notes: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> TableResult:
     """Reproduce one results table.
 
     Every heuristic of ``config.heuristics`` is run on every metatask
     (``config.scale.repetitions`` times, varying the middleware seed).  The
-    reference heuristic (MCT) is run first so "tasks finishing sooner" can be
-    computed per metatask against the matching reference run.
+    reference heuristic (MCT) is assembled first so "tasks finishing sooner"
+    can be computed per metatask against the matching reference run.
+
+    Execution is delegated to the campaign engine
+    (:func:`repro.experiments.campaign.run_campaign`): the experiment is
+    decomposed into independent (heuristic × metatask × repetition) cells
+    whose seeds derive from their coordinates, so running with ``jobs > 1``
+    (or ``config.jobs > 1``) on a process pool returns the same table as the
+    serial path, bit for bit.
     """
-    heuristics: List[str] = list(config.heuristics)
-    if config.reference in heuristics:
-        heuristics.remove(config.reference)
-        heuristics.insert(0, config.reference)
+    from .campaign import run_campaign
 
-    outcomes: Dict[str, HeuristicOutcome] = {name: HeuristicOutcome(name) for name in heuristics}
-    reference_runs: Dict[Tuple[int, int], RunResult] = {}
-
-    for heuristic_name in heuristics:
-        for metatask_index, metatask in enumerate(metatasks):
-            for repetition in range(config.scale.repetitions):
-                seed_offset = metatask_index * 1000 + repetition
-                middleware_config = config.middleware_for(heuristic_name, seed_offset)
-                heuristic: Union[str, Heuristic]
-                if heuristic_factories and heuristic_name in heuristic_factories:
-                    heuristic = heuristic_factories[heuristic_name]
-                else:
-                    heuristic = create_heuristic(heuristic_name)
-                run = run_single(platform, metatask, heuristic, middleware_config, catalogue)
-                outcome = outcomes[heuristic_name]
-                outcome.runs.append(run)
-                outcome.summaries.append(summarize(run.tasks, heuristic_name))
-                key = (metatask_index, repetition)
-                if heuristic_name == config.reference:
-                    reference_runs[key] = run
-                elif key in reference_runs:
-                    outcome.comparisons.append(
-                        tasks_finishing_sooner(
-                            run.tasks,
-                            reference_runs[key].tasks,
-                            heuristic_name,
-                            config.reference,
-                        )
-                    )
-
-    columns: Dict[str, Dict[str, float]] = {}
-    for name, outcome in outcomes.items():
-        column: Dict[str, float] = {
-            "completed tasks": outcome.mean_metric("n_completed"),
-            "makespan": outcome.mean_metric("makespan"),
-            "sumflow": outcome.mean_metric("sum_flow"),
-            "maxflow": outcome.mean_metric("max_flow"),
-            "maxstretch": outcome.mean_metric("max_stretch"),
-        }
-        if name != config.reference and outcome.mean_sooner is not None:
-            column["tasks finishing sooner than MCT"] = outcome.mean_sooner
-        columns[name] = column
-
-    return TableResult(
+    return run_campaign(
         experiment_id=experiment_id,
         title=title,
-        columns=columns,
-        outcomes=outcomes,
-        notes=list(notes or []),
+        platform=platform,
+        metatasks=metatasks,
+        config=config,
+        catalogue=catalogue,
+        heuristic_factories=heuristic_factories,
+        notes=notes,
+        jobs=jobs,
     )

@@ -56,6 +56,9 @@ class MiddlewareConfig:
     fault_tolerant_heuristics: tuple = ("mct",)
     htm_resync: bool = True
     htm_model_communication: bool = True
+    #: Use the HTM's cached-baseline prediction fast path (see
+    #: :class:`repro.core.htm.HistoricalTraceManager`).
+    htm_incremental: bool = True
     seed: int = 0
     #: Hard bound on the simulated time of a run (safety net).
     max_horizon_s: float = 1_000_000.0
@@ -158,6 +161,7 @@ class GridMiddleware:
             htm = HistoricalTraceManager(
                 resync_on_completion=self.config.htm_resync,
                 model_communication=self.config.htm_model_communication,
+                incremental_predictions=self.config.htm_incremental,
             )
         self.agent = Agent(self.env, self.heuristic, htm=htm)
         self.fault_policy = self.config.fault_policy_for(self.heuristic.name)

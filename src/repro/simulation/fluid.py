@@ -344,6 +344,7 @@ class FluidNetwork:
         self._tasks: Dict[Hashable, FluidTaskState] = {}
         self._pending: List[Hashable] = []  # tasks whose arrival is in the future
         self._time = float(time)
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -352,6 +353,20 @@ class FluidNetwork:
     def time(self) -> float:
         """Internal clock of the network."""
         return self._time
+
+    @property
+    def version(self) -> int:
+        """Structural version of the network.
+
+        The counter increments on every mutation that can change the *future*
+        trajectory of the simulation — adding or removing a task, forgetting a
+        record, changing a capacity.  Merely advancing the clock does not bump
+        it: a free run to completion yields the same absolute completion dates
+        regardless of the clock position, which is what lets the HTM cache
+        what-if baselines across ``advance_to`` calls (see
+        :meth:`repro.core.htm.ServerTrace.free_run_completions`).
+        """
+        return self._version
 
     @property
     def resources(self) -> List[str]:
@@ -399,6 +414,7 @@ class FluidNetwork:
         """
         events = self.advance_to(now)
         self._queues[resource].set_capacity(capacity, now, per_job_cap=per_job_cap)
+        self._version += 1
         return events
 
     def add_task(
@@ -428,6 +444,7 @@ class FluidNetwork:
             events.extend(self.advance_to(now))
         state = FluidTaskState(key=key, arrival=float(arrival), stages=stages)
         self._tasks[key] = state
+        self._version += 1
         if arrival <= self._time + EPSILON:
             self._start_task(state, self._time, events)
         else:
@@ -438,6 +455,7 @@ class FluidNetwork:
         """Remove a (possibly running) task, e.g. because its server collapsed."""
         self.advance_to(now)
         state = self._tasks.pop(key)
+        self._version += 1
         if key in self._pending:
             self._pending.remove(key)
         if state.started and not state.finished:
@@ -453,6 +471,9 @@ class FluidNetwork:
             return
         if not state.finished:
             raise SimulationError(f"cannot forget unfinished task {key!r}")
+        # Dropping a *finished* record cannot change the future trajectory, so
+        # the structural version stays put and cached free-run baselines
+        # survive completion notifications (re-adding the key later bumps it).
         del self._tasks[key]
 
     # ------------------------------------------------------------------ #
@@ -564,6 +585,7 @@ class FluidNetwork:
         clone._tasks = {key: state.copy() for key, state in self._tasks.items()}
         clone._pending = list(self._pending)
         clone._time = self._time
+        clone._version = self._version
         return clone
 
     def __repr__(self) -> str:
