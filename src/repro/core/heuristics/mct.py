@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ...errors import NoCandidateServer
 from .base import Decision, Heuristic, SchedulingContext, ServerInfo
 
 __all__ = ["MctHeuristic"]
@@ -63,5 +64,8 @@ class MctHeuristic(Heuristic):
             if estimate < best_estimate - 1e-12:
                 best_estimate = estimate
                 best_name = info.name
-        assert best_name is not None
+        if best_name is None:
+            # No candidate produced a finite estimate: raise like the rest of
+            # the stack (a bare assert would vanish under ``python -O``).
+            raise NoCandidateServer(context.task.problem.name)
         return Decision(server=best_name, estimated_completion=best_estimate, scores=scores)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ...errors import NoCandidateServer
 from .base import Decision, HtmHeuristic, SchedulingContext
 
 __all__ = ["MniHeuristic"]
@@ -41,7 +42,10 @@ class MniHeuristic(HtmHeuristic):
             if key < best_key:
                 best_key = key
                 best_name = info.name
-        assert best_name is not None
+        if best_name is None:
+            # No candidate produced a finite prediction: raise like the rest
+            # of the stack (a bare assert would vanish under ``python -O``).
+            raise NoCandidateServer(context.task.problem.name)
         return Decision(
             server=best_name,
             estimated_completion=predictions[best_name].new_task_completion,

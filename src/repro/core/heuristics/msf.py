@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ...errors import NoCandidateServer
 from .base import Decision, HtmHeuristic, SchedulingContext, ServerInfo
 
 __all__ = ["MsfHeuristic"]
@@ -90,7 +91,11 @@ class MsfHeuristic(HtmHeuristic):
             # Either memory awareness filtered everything out or it is off:
             # fall back to the plain MSF choice among all live candidates.
             best_name = pick(candidates)
-        assert best_name is not None
+        if best_name is None:
+            # Zero live candidates (or no candidate with a finite score):
+            # raise like the rest of the stack instead of dying on an assert —
+            # which would silently pass under ``python -O``.
+            raise NoCandidateServer(context.task.problem.name)
         return Decision(
             server=best_name,
             estimated_completion=predictions[best_name].new_task_completion,

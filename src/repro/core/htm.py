@@ -137,6 +137,14 @@ class HistoricalTraceManager:
         are numerically identical to the legacy copy-and-rerun path (up to
         floating-point integration order, well below 1e-6 s); set to ``False``
         to force the legacy path, e.g. for A/B benchmarking.
+
+    Both prediction arms run on the virtual-time fluid core
+    (:mod:`repro.simulation.fluid`): a what-if ``copy()`` shares the immutable
+    per-job records and a free run costs O(events · log J) instead of
+    rescanning every job at every event, which is what keeps ``predict``
+    off the top of the campaign profile even for traces carrying thousands
+    of tasks (see ``bench_htm_predict_large_n_*`` in
+    ``benchmarks/bench_micro.py``).
     """
 
     def __init__(

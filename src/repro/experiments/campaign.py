@@ -162,13 +162,37 @@ class MultiprocessingExecutor:
 
     ``Pool.map`` preserves input order, so the result list lines up with the
     planned cells regardless of which worker finished first.
+
+    The pool is built from an *explicit* start-method context: pass
+    ``start_method`` to pin one, otherwise the platform's default method is
+    resolved once and used explicitly (the platform defaults — spawn on
+    macOS/Windows, fork or forkserver on Linux depending on the Python
+    version — exist for fork-safety reasons, so they are respected rather
+    than overridden).  When a pool cannot be created at all — most notably
+    when the executor runs inside a *daemonic* worker of an enclosing
+    campaign, which is forbidden from spawning children — it degrades to
+    in-process serial execution.  Cells are seeded from their coordinates, so
+    every start method and the serial fallback are byte-identical, only their
+    speed differs.
     """
 
-    def __init__(self, jobs: int, chunksize: int = 1):
+    def __init__(self, jobs: int, chunksize: int = 1, start_method: Optional[str] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} is not available on this platform"
+            )
         self.jobs = jobs
         self.chunksize = chunksize
+        self.start_method = start_method
+
+    def _context(self):
+        """The multiprocessing context the pool is built from."""
+        method = self.start_method
+        if method is None:
+            method = multiprocessing.get_start_method(allow_none=False)
+        return multiprocessing.get_context(method)
 
     def __call__(self, work_items: Sequence[CellWork]) -> List[RunResult]:
         work_items = list(work_items)
@@ -176,9 +200,20 @@ class MultiprocessingExecutor:
             return []
         # No point forking more workers than there are cells.
         processes = min(self.jobs, len(work_items))
-        if processes == 1:
+        if processes == 1 or multiprocessing.current_process().daemon:
+            # Daemonic processes may not have children: a nested campaign
+            # (e.g. an experiment running inside a pool worker) runs serially.
             return [execute_cell(work) for work in work_items]
-        with multiprocessing.Pool(processes=processes) as pool:
+        try:
+            pool = self._context().Pool(processes=processes)
+        except (AssertionError, OSError, ValueError):
+            # Pool *creation* failed (daemonic contexts that slipped past the
+            # check above raise AssertionError; exotic platforms raise
+            # OSError/ValueError).  Fall back to serial execution.  Errors
+            # raised by the cells themselves propagate from pool.map below —
+            # they must not silently trigger a serial re-run of the campaign.
+            return [execute_cell(work) for work in work_items]
+        with pool:
             return pool.map(execute_cell, work_items, chunksize=self.chunksize)
 
     def __repr__(self) -> str:
@@ -239,6 +274,21 @@ def run_campaign(
             f"executor returned {len(results)} results for {len(cells)} cells"
         )
 
+    # Truncated runs (the middleware safety horizon fired) must not be
+    # silently averaged with complete ones: surface them in the table notes.
+    truncated_cells = [
+        f"{cell.heuristic}/metatask{cell.metatask_index}/rep{cell.repetition}"
+        for cell, run in zip(cells, results)
+        if run.truncated
+    ]
+    notes = list(notes or [])
+    if truncated_cells:
+        notes.append(
+            f"WARNING: {len(truncated_cells)} run(s) hit max_horizon_s and were "
+            f"truncated (in-flight tasks failed as 'horizon'): "
+            + ", ".join(truncated_cells)
+        )
+
     # Assembly — identical to the historical serial loop: cells are ordered
     # reference-first, so every reference run is recorded before the runs it
     # is compared against.
@@ -278,5 +328,5 @@ def run_campaign(
         title=title,
         columns=columns,
         outcomes=outcomes,
-        notes=list(notes or []),
+        notes=notes,
     )

@@ -87,6 +87,13 @@ class RunResult:
     agent_decisions: Dict[str, int] = field(default_factory=dict)
     server_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     seed: int = 0
+    #: ``True`` when the run hit ``max_horizon_s`` before every task reached a
+    #: terminal state; the in-flight tasks were then finalised as failed with
+    #: reason ``"horizon"``.  Campaign assembly surfaces every truncated cell
+    #: in the table notes (see :func:`repro.experiments.campaign.run_campaign`),
+    #: so truncated runs are never *silently* mixed into the column means —
+    #: check this flag to exclude them outright.
+    truncated: bool = False
 
     @property
     def completed_tasks(self) -> List[Task]:
@@ -250,11 +257,20 @@ class GridMiddleware:
     def _maybe_retry(self, task: Task, at: float) -> None:
         if self.fault_policy.should_retry(task.n_attempts):
             delay = max(self.fault_policy.retry_delay_s, 0.0)
-            task.status = TaskStatus.SUBMITTED
+            # The task keeps its FAILED status during the back-off window and
+            # only becomes SUBMITTED when the deferred dispatch actually
+            # fires; flipping it eagerly here made the task misreport as
+            # submitted for ``retry_delay_s`` seconds, so a concurrent
+            # terminal check could miscount it as in flight.
             timeout = self.env.timeout(delay)
-            timeout.callbacks.append(lambda _evt, t=task: self._dispatch(t))
+            timeout.callbacks.append(lambda _evt, t=task: self._redispatch(t))
         else:
             self._task_terminal(task)
+
+    def _redispatch(self, task: Task) -> None:
+        """Deferred retry: the task re-enters the submitted state only now."""
+        task.status = TaskStatus.SUBMITTED
+        self._dispatch(task)
 
     def _on_server_collapse(self, server: ComputeServer, at: float) -> None:
         self.agent.notify_server_down(server.name, at)
@@ -296,6 +312,16 @@ class GridMiddleware:
         horizon = self.env.timeout(self.config.max_horizon_s)
         self.env.run(until=self.env.any_of([self._finished_event, horizon]))
 
+        truncated = self._terminal < self._expected
+        if truncated:
+            # The safety horizon fired with tasks still in flight: finalise
+            # them so no task leaves the run in a non-terminal status with no
+            # failure reason or date.
+            now = self.env.now
+            for task in tasks:
+                if task.status not in (TaskStatus.COMPLETED, TaskStatus.FAILED):
+                    task.mark_failed(now, "horizon")
+
         return RunResult(
             heuristic=self.heuristic.name,
             metatask_name=metatask_name,
@@ -304,6 +330,7 @@ class GridMiddleware:
             agent_decisions=dict(self.agent.stats.decisions_per_server),
             server_stats={name: server.stats.as_dict() for name, server in self.servers.items()},
             seed=self.config.seed,
+            truncated=truncated,
         )
 
     def __repr__(self) -> str:

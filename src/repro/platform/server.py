@@ -16,6 +16,12 @@ sharing.  The server additionally models:
 The server is the *ground truth*: the agent never reads its internal state
 directly, only what monitors report (for MCT) or what the HTM predicts (for
 the paper's heuristics).
+
+The execution itself runs on the virtual-time fluid core
+(:mod:`repro.simulation.fluid`): ``_sync_wakeup`` peeks the network's next
+event in O(1) per resource and ``_advance`` costs O(log J) per completion, so
+a heavily loaded server stays cheap to simulate even with thousands of
+resident tasks.
 """
 
 from __future__ import annotations

@@ -10,7 +10,10 @@ builds upon:
 * :class:`Resource`, :class:`Container`, :class:`Store` — classic shared
   resources;
 * :class:`ProcessorSharingQueue`, :class:`FluidNetwork` — the egalitarian
-  time-sharing model of the paper (Section 2.3);
+  time-sharing model of the paper (Section 2.3), implemented in *virtual
+  time* with heap-based event scheduling (O(log J) per event; see
+  :mod:`repro.simulation.fluid`; the pre-virtual-time core survives as the
+  test oracle in :mod:`repro.simulation.fluid_legacy`);
 * :class:`RandomStreams` — reproducible named random streams.
 """
 

@@ -1,60 +1,17 @@
-"""Fluid (piecewise-linear) processor-sharing models — virtual-time core.
+"""Legacy (pre-virtual-time) fluid processor-sharing models.
 
-The paper models a time-shared server as follows (Section 2.3): when a server
-executes *n* tasks, each task receives ``1/n`` of the total power of the
-resource.  The same egalitarian sharing is assumed for data transfers on a
-link ("we assume that all tasks can create communication bandwidth
-interference for any other task", Section 6).
-
-This module implements that model once, and both the *ground truth* platform
-(:mod:`repro.platform.server`) and the agent's *Historical Trace Manager*
-(:mod:`repro.core.htm`) reuse it:
-
-* :class:`ProcessorSharingQueue` — a single resource whose capacity is shared
-  equally among its active jobs; progress is piecewise linear between job
-  arrivals/completions and capacity changes.
-* :class:`FluidNetwork` — a set of named queues through which multi-stage
-  tasks (input transfer → computation → output transfer) flow.
-
-Both classes operate on an explicit *virtual clock*: the caller advances them
-to a target time and receives the completions that occurred.  This makes the
-same code usable inside a discrete-event simulation (driven by the
-environment clock) and inside the HTM (driven by hypothetical what-if runs).
-
-Virtual-time scheduling
------------------------
-
-Because the sharing is egalitarian, every active job of a queue progresses at
-the *same* instantaneous rate.  The queue therefore tracks a single cumulative
-per-job service function ``V(t)`` (piecewise linear, with slope ``rate()``
-between events) instead of mutating each job on every slice:
-
-* a job entering with ``work`` units at virtual time ``V`` is assigned the
-  immutable completion target ``V + work``;
-* its remaining work at any later moment is ``target - V(now)`` — no per-job
-  state is ever touched while time advances, so long runs accumulate no
-  per-job floating-point drift;
-* a min-heap keyed by ``(target, insertion order)`` yields the next completion
-  in O(log J); ``remove`` is a dictionary pop with *lazy deletion* — stale
-  heap entries are discarded when they surface.
-
-On top, :class:`FluidNetwork` schedules events through heaps as well: pending
-arrivals live in a min-heap keyed by arrival date, and each queue exposes its
-next completion as an O(1) peek of its own target heap.  The cross-queue
-event layer is the min across those per-queue heap tops plus the arrival-heap
-head — a flat min because the canonical networks of this repository have
-R = 3 resources (a binary heap over queue tops only pays off for R ≫ 10).
-``advance_to`` / ``run_to_completion`` are thus O((events + mutations)·log)
-where the previous implementation rescanned every job of every queue at every
-event (O(E·R·J) per run); ``copy()`` shares the immutable job records instead
-of cloning them.  The pre-virtual-time core is preserved verbatim in
-:mod:`repro.simulation.fluid_legacy` as the equivalence oracle for tests and
-A/B benchmarks.
+This is the original O(R·J)-per-event implementation of the fluid core:
+``next_completion_time`` rescans every job of every queue at every event and
+``_progress`` decrements every job's ``remaining`` on every slice.  It was
+replaced by the virtual-time core of :mod:`repro.simulation.fluid` and is kept
+**only** as the equivalence oracle — the randomized old-vs-new sweep in
+``tests/simulation/test_fluid_equivalence.py`` and the large-N A/B benchmarks
+in ``benchmarks/bench_micro.py`` compare against it.  Nothing in the library
+itself may import this module; do not add features here.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
@@ -75,28 +32,22 @@ __all__ = [
 EPSILON = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass
 class PSJob:
-    """A job inside a :class:`ProcessorSharingQueue`.
-
-    The record is immutable: ``target`` is the value of the queue's cumulative
-    service function ``V`` at which the job completes (``V(entry) + work``),
-    fixed at insertion.  Immutability is what lets :meth:`ProcessorSharingQueue.copy`
-    share job records between clones.
-    """
+    """A job inside a :class:`ProcessorSharingQueue`."""
 
     key: Hashable
-    target: float
+    remaining: float
     entered_at: float
     order: int
 
     def copy(self) -> "PSJob":
-        """Return the job itself (records are immutable, sharing is safe)."""
-        return self
+        """Return an independent copy of the job."""
+        return PSJob(self.key, self.remaining, self.entered_at, self.order)
 
 
 class ProcessorSharingQueue:
-    """Egalitarian processor sharing of one resource, in virtual time.
+    """Egalitarian processor sharing of one resource.
 
     Parameters
     ----------
@@ -127,12 +78,7 @@ class ProcessorSharingQueue:
         self._capacity = float(capacity)
         self._per_job_cap = float(per_job_cap) if per_job_cap is not None else None
         self._time = float(time)
-        #: Cumulative per-job service V(t) since the queue's creation.
-        self._vtime = 0.0
         self._jobs: Dict[Hashable, PSJob] = {}
-        #: Min-heap of ``(target, order, key)``; entries whose ``(key, order)``
-        #: no longer matches ``_jobs`` are stale (lazy deletion).
-        self._heap: List[Tuple[float, int, Hashable]] = []
         self._order = 0
 
     # ------------------------------------------------------------------ #
@@ -165,11 +111,11 @@ class ProcessorSharingQueue:
 
     def remaining(self, key: Hashable) -> float:
         """Remaining work of job ``key`` at the queue's current clock."""
-        return self._jobs[key].target - self._vtime
+        return self._jobs[key].remaining
 
     def total_remaining(self) -> float:
         """Sum of the remaining work of all active jobs."""
-        return sum(job.target - self._vtime for job in self._jobs.values())
+        return sum(job.remaining for job in self._jobs.values())
 
     def rate(self) -> float:
         """Progress rate currently enjoyed by each active job."""
@@ -191,23 +137,14 @@ class ProcessorSharingQueue:
         if work < 0:
             raise ValueError("work must be non-negative")
         self.advance_to(now)
-        job = PSJob(key, self._vtime + float(work), now, self._order)
-        self._jobs[key] = job
-        heapq.heappush(self._heap, (job.target, job.order, key))
+        self._jobs[key] = PSJob(key, float(work), now, self._order)
         self._order += 1
 
     def remove(self, key: Hashable, now: float) -> float:
-        """Remove job ``key`` (e.g. cancelled) and return its remaining work.
-
-        The heap entry of the job is *not* searched for: it goes stale and is
-        discarded when it reaches the top (lazy deletion, O(1) here).
-        """
+        """Remove job ``key`` (e.g. cancelled) and return its remaining work."""
         self.advance_to(now)
         job = self._jobs.pop(key)
-        remaining = job.target - self._vtime
-        if not self._jobs:
-            self._reanchor()
-        return remaining
+        return job.remaining
 
     def set_capacity(
         self, capacity: float, now: float, per_job_cap: Optional[float] = ...
@@ -229,22 +166,11 @@ class ProcessorSharingQueue:
     # ------------------------------------------------------------------ #
     # time evolution
     # ------------------------------------------------------------------ #
-    def _min_target(self) -> Optional[float]:
-        """Smallest live completion target, discarding stale heap entries."""
-        heap = self._heap
-        while heap:
-            target, order, key = heap[0]
-            job = self._jobs.get(key)
-            if job is not None and job.order == order:
-                return target
-            heapq.heappop(heap)
-        return None
-
     def next_completion_time(self) -> float:
         """Time at which the next job completes if nothing else changes."""
         if not self._jobs:
             return math.inf
-        min_remaining = self._min_target() - self._vtime
+        min_remaining = min(job.remaining for job in self._jobs.values())
         if min_remaining <= EPSILON:
             return self._time
         rate = self.rate()
@@ -268,59 +194,36 @@ class ProcessorSharingQueue:
             t_next = self.next_completion_time()
             if t_next > now + EPSILON:
                 break
-            self._progress(max(t_next, self._time))
-            finished: List[PSJob] = []
-            while True:
-                target = self._min_target()
-                if target is None or target > self._vtime + EPSILON:
-                    break
-                _, _, key = heapq.heappop(self._heap)
-                finished.append(self._jobs.pop(key))
+            target = max(t_next, self._time)
+            self._progress(target)
+            finished = [
+                job
+                for job in sorted(self._jobs.values(), key=lambda j: j.order)
+                if job.remaining <= EPSILON
+            ]
             if not finished:  # pragma: no cover - float safety net
                 break
-            # Jobs finishing in the same instant are reported in insertion
-            # order (their targets agree to within EPSILON but not exactly).
-            finished.sort(key=lambda j: j.order)
             for job in finished:
                 completions.append((self._time, job.key))
+                del self._jobs[job.key]
         self._progress(now)
-        if not self._jobs:
-            self._reanchor()
         return completions
 
-    def _reanchor(self) -> None:
-        """Reset the service function once the queue drains.
-
-        Targets are meaningless with no jobs, so ``_vtime`` can restart from
-        zero — bounding its magnitude by the longest *busy period* instead of
-        the whole run, which keeps the absolute EPSILON comparisons against
-        ``target - _vtime`` sharp on arbitrarily long horizons.
-        """
-        self._vtime = 0.0
-        self._heap.clear()
-
     def _progress(self, target: float) -> None:
-        """Advance the service function linearly from the current clock to ``target``."""
+        """Advance all jobs linearly from the current clock to ``target``."""
         dt = target - self._time
         rate = self.rate()
         if dt > 0 and self._jobs and rate > 0:
-            self._vtime += dt * rate
+            share = dt * rate
+            for job in self._jobs.values():
+                job.remaining -= share
         self._time = max(self._time, target)
 
     # ------------------------------------------------------------------ #
     def copy(self) -> "ProcessorSharingQueue":
-        """Return an independent copy of the queue.
-
-        Job records are immutable, so the clone shares them: the copy is one
-        dict copy and one list copy, with no per-job allocation.
-        """
-        clone = ProcessorSharingQueue.__new__(ProcessorSharingQueue)
-        clone._capacity = self._capacity
-        clone._per_job_cap = self._per_job_cap
-        clone._time = self._time
-        clone._vtime = self._vtime
-        clone._jobs = dict(self._jobs)
-        clone._heap = list(self._heap)
+        """Return an independent deep copy of the queue."""
+        clone = ProcessorSharingQueue(self._capacity, self._time, per_job_cap=self._per_job_cap)
+        clone._jobs = {key: job.copy() for key, job in self._jobs.items()}
         clone._order = self._order
         return clone
 
@@ -411,11 +314,6 @@ class FluidNetwork:
     resources — ``"net_in"``, ``"cpu"`` and ``"net_out"`` — and tasks whose
     stages are the input-data transfer, the computation and the output-data
     transfer (the three parts of a task of Fig. 1 of the paper).
-
-    Event scheduling is heap-based (see the module docstring): pending
-    arrivals sit in a min-heap keyed by arrival date, and each queue's next
-    completion is an O(1) peek of its virtual-time target heap, so one event
-    costs O(R + log) instead of a full rescan of every job of every queue.
     """
 
     def __init__(
@@ -432,15 +330,7 @@ class FluidNetwork:
             for name, cap in capacities.items()
         }
         self._tasks: Dict[Hashable, FluidTaskState] = {}
-        #: Tasks whose arrival is in the future, mapped to the sequence
-        #: number of their *live* arrival-heap entry.
-        self._pending: Dict[Hashable, int] = {}
-        #: Min-heap of ``(arrival, seq, key)``; an entry is live only while
-        #: ``_pending[key] == seq`` — matching on the sequence number (not
-        #: mere membership) keeps an entry stale after its task is removed
-        #: and the same key re-added with a different arrival date.
-        self._arrival_heap: List[Tuple[float, int, Hashable]] = []
-        self._seq = 0
+        self._pending: List[Hashable] = []  # tasks whose arrival is in the future
         self._time = float(time)
         self._version = 0
 
@@ -546,9 +436,7 @@ class FluidNetwork:
         if arrival <= self._time + EPSILON:
             self._start_task(state, self._time, events)
         else:
-            self._pending[key] = self._seq
-            heapq.heappush(self._arrival_heap, (state.arrival, self._seq, key))
-            self._seq += 1
+            self._pending.append(key)
         return events
 
     def remove_task(self, key: Hashable, now: float) -> FluidTaskState:
@@ -556,9 +444,8 @@ class FluidNetwork:
         self.advance_to(now)
         state = self._tasks.pop(key)
         self._version += 1
-        # A pending key leaves the table; its arrival-heap entry goes stale
-        # (the sequence number no longer matches) and is discarded lazily.
-        self._pending.pop(key, None)
+        if key in self._pending:
+            self._pending.remove(key)
         if state.started and not state.finished:
             queue = self._queues[state.stages[state.stage_index].resource]
             if key in queue:
@@ -580,23 +467,11 @@ class FluidNetwork:
     # ------------------------------------------------------------------ #
     # time evolution
     # ------------------------------------------------------------------ #
-    def _next_arrival(self) -> float:
-        """Earliest pending arrival (heap peek, discarding stale entries)."""
-        heap = self._arrival_heap
-        while heap:
-            arrival, seq, key = heap[0]
-            if self._pending.get(key) == seq:
-                return arrival
-            heapq.heappop(heap)
-        return math.inf
-
     def next_event_time(self) -> float:
         """Earliest time of the next stage completion or pending arrival."""
-        t = self._next_arrival()
-        for queue in self._queues.values():
-            t_queue = queue.next_completion_time()
-            if t_queue < t:
-                t = t_queue
+        t = min((q.next_completion_time() for q in self._queues.values()), default=math.inf)
+        for key in self._pending:
+            t = min(t, self._tasks[key].arrival)
         return t
 
     def advance_to(self, now: float) -> List[FluidEvent]:
@@ -660,18 +535,10 @@ class FluidNetwork:
             else:
                 state.stage_index += 1
                 self._enter_stage(state, time, events)
-        # Activate tasks whose arrival date has been reached (heap order:
-        # arrival date, then insertion order).
-        heap = self._arrival_heap
-        while heap:
-            arrival, seq, key = heap[0]
-            if self._pending.get(key) != seq:
-                heapq.heappop(heap)
-                continue
-            if arrival > self._time + EPSILON:
-                break
-            heapq.heappop(heap)
-            del self._pending[key]
+        # Activate tasks whose arrival date has been reached.
+        due = [key for key in self._pending if self._tasks[key].arrival <= self._time + EPSILON]
+        for key in due:
+            self._pending.remove(key)
             state = self._tasks[key]
             self._start_task(state, max(state.arrival, self._time), events)
 
@@ -704,9 +571,7 @@ class FluidNetwork:
         clone = FluidNetwork.__new__(FluidNetwork)
         clone._queues = {name: queue.copy() for name, queue in self._queues.items()}
         clone._tasks = {key: state.copy() for key, state in self._tasks.items()}
-        clone._pending = dict(self._pending)
-        clone._arrival_heap = list(self._arrival_heap)
-        clone._seq = self._seq
+        clone._pending = list(self._pending)
         clone._time = self._time
         clone._version = self._version
         return clone

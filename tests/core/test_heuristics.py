@@ -242,3 +242,64 @@ class TestContext:
 
     def test_corrected_load_is_never_negative(self):
         assert info("a", 1.0, load=0.0, correction=-5).corrected_load == 0.0
+
+
+class _InfinitePredictionHtm:
+    """Stub HTM whose predictions are all unusable (every score infinite).
+
+    Exercises the defensive no-candidate path of the selection loops: no
+    comparison against ``inf`` scores ever succeeds, so no server can be
+    picked.  Before the fix this died on a bare ``assert`` (which silently
+    passes under ``python -O``); now every heuristic raises
+    :class:`NoCandidateServer` like the rest of the stack.
+    """
+
+    def predict(self, server, task, now):
+        import math
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            server=server,
+            new_task_completion=math.inf,
+            sum_flow_increase=math.inf,
+            sum_perturbation=math.inf,
+            n_perturbed=math.inf,
+            perturbations={},
+        )
+
+
+class TestNoCandidateHandling:
+    """All heuristics raise NoCandidateServer instead of dying on asserts."""
+
+    def _stub_context(self, servers=("a", "b")):
+        task = Task(task_id="t", problem=matmul_problem(1200), arrival=0.0)
+        infos = tuple(info(name, 10.0) for name in servers)
+        return SchedulingContext(
+            now=0.0, task=task, servers=infos, htm=_InfinitePredictionHtm()
+        )
+
+    @pytest.mark.parametrize(
+        "heuristic_cls", [HmctHeuristic, MpHeuristic, MsfHeuristic, MniHeuristic]
+    )
+    def test_htm_heuristics_raise_when_every_score_is_infinite(self, heuristic_cls):
+        with pytest.raises(NoCandidateServer):
+            heuristic_cls().select(self._stub_context())
+
+    def test_mct_raises_when_every_estimate_is_infinite(self):
+        import math
+
+        unusable = info("a", compute=math.inf)
+        with pytest.raises(NoCandidateServer):
+            MctHeuristic().select(context_without_htm(servers=[unusable]))
+
+    def test_msf_raises_with_zero_live_candidates(self):
+        """The issue's scenario: every server down, MSF must raise (not assert)."""
+        task = Task(task_id="t", problem=matmul_problem(1200), arrival=0.0)
+        context = SchedulingContext(
+            now=0.0,
+            task=task,
+            servers=(info("down-1", 10.0, up=False), info("down-2", 10.0, up=False)),
+            htm=_InfinitePredictionHtm(),
+        )
+        with pytest.raises(NoCandidateServer):
+            MsfHeuristic().select(context)

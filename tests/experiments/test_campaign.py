@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 
 import numpy as np
@@ -211,3 +212,89 @@ class TestComparisons:
             else:
                 assert len(outcome.comparisons) == 2  # one per (metatask, repetition)
                 assert all(c.reference == "mct" for c in outcome.comparisons)
+
+
+def _two_cell_work(heuristics=("mct", "msf")):
+    """Two small cells sharing one platform/metatask (helper for spawn tests)."""
+    config = tiny_config()
+    platform = first_set_platform()
+    metatask = tiny_metatask()
+    return [
+        CellWork(
+            cell=RunCell(name, 0, 0, 0),
+            platform=platform,
+            metatask=metatask,
+            middleware_config=config.middleware_for(name, 0),
+            catalogue=PAPER_CATALOGUE,
+        )
+        for name in heuristics
+    ]
+
+
+def _daemonic_campaign_worker(queue):
+    """Runs inside a *daemonic* process, which may not spawn children: the
+    multiprocessing executor must degrade to serial execution instead of
+    crashing with 'daemonic processes are not allowed to have children'."""
+    try:
+        results = MultiprocessingExecutor(jobs=2)(_two_cell_work())
+        queue.put([(r.heuristic, r.completed_count, r.duration) for r in results])
+    except BaseException as exc:  # pragma: no cover - surfaced by the test
+        queue.put(exc)
+
+
+class TestSpawnSafety:
+    def test_executor_uses_an_explicit_context(self):
+        executor = MultiprocessingExecutor(jobs=2)
+        method = executor._context().get_start_method()
+        # The platform default is respected (it exists for fork-safety
+        # reasons), just resolved into an explicit context.
+        assert method == multiprocessing.get_start_method(allow_none=False)
+
+    def test_explicit_start_method_is_honoured(self):
+        method = multiprocessing.get_all_start_methods()[0]
+        executor = MultiprocessingExecutor(jobs=2, start_method=method)
+        assert executor._context().get_start_method() == method
+
+    def test_unknown_start_method_is_rejected(self):
+        with pytest.raises(ValueError):
+            MultiprocessingExecutor(jobs=2, start_method="not-a-method")
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="the daemonic-child regression test needs a fast fork context",
+    )
+    def test_nested_campaign_inside_daemonic_worker_falls_back_to_serial(self):
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        child = context.Process(target=_daemonic_campaign_worker, args=(queue,), daemon=True)
+        child.start()
+        try:
+            payload = queue.get(timeout=120)
+        finally:
+            child.join(timeout=120)
+        if isinstance(payload, BaseException):
+            raise AssertionError(f"daemonic campaign crashed: {payload!r}")
+        # The fallback is byte-identical to an in-process serial run.
+        serial = SerialExecutor()(_two_cell_work())
+        assert payload == [(r.heuristic, r.completed_count, r.duration) for r in serial]
+
+
+class TestTruncationFlagging:
+    def test_truncated_runs_are_flagged_in_table_notes(self):
+        config = ExperimentConfig(
+            scale=ExperimentScale(name="tiny", task_count=10, metatask_count=1),
+            seed=42,
+            middleware=MiddlewareConfig(noise_model=None, max_horizon_s=5.0),
+        )
+        table = run_campaign(
+            "truncated", "t", first_set_platform(), [tiny_metatask()], config
+        )
+        assert any("truncated" in note for note in table.notes)
+        assert all(run.truncated for o in table.outcomes.values() for run in o.runs)
+
+    def test_complete_campaigns_carry_no_truncation_note(self):
+        table = run_campaign(
+            "complete", "t", first_set_platform(), [tiny_metatask()], tiny_config()
+        )
+        assert not any("truncated" in note for note in table.notes)
+        assert not any(run.truncated for o in table.outcomes.values() for run in o.runs)

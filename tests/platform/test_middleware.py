@@ -8,7 +8,9 @@ from repro.core.heuristics import PAPER_HEURISTICS
 from repro.errors import PlatformError
 from repro.platform.faults import FaultTolerancePolicy, MemoryModel
 from repro.platform.middleware import GridMiddleware, MiddlewareConfig
-from repro.workload.tasks import TaskStatus
+from repro.platform.spec import MachineRole, MachineSpec, PlatformSpec
+from repro.workload.problems import matmul_problem
+from repro.workload.tasks import Task, TaskStatus
 from repro.workload.testbed import first_set_platform, matmul_metatask, wastecpu_metatask
 
 
@@ -132,3 +134,90 @@ class TestFaultTolerance:
         result = GridMiddleware(platform, "mct", config=config).run(metatask)
         assert result.completed_count == 80
         assert sum(s["collapses"] for s in result.server_stats.values()) == 0
+
+
+class TestRetryStatusWindow:
+    """Regression: a retried task must stay FAILED during the back-off delay.
+
+    The old code flipped the task to SUBMITTED the instant the failure was
+    observed, ``retry_delay_s`` seconds before the deferred dispatch actually
+    fired — so a concurrent terminal check during the window saw the task as
+    in flight although nothing was scheduled to run it yet.
+    """
+
+    def _rejecting_middleware(self):
+        # A platform whose only server cannot fit any task within memory +
+        # swap: with collapse disabled, every submission is rejected ("not
+        # enough memory") while the server stays up — so the middleware keeps
+        # scheduling retries through the fault-tolerance back-off.
+        platform = PlatformSpec(
+            machines={
+                "pulney": MachineSpec("pulney", "tiny-memory", 500.0, memory_mb=70.0, swap_mb=0.0),
+                "dispatch": MachineSpec(
+                    "dispatch", "synthetic", 1000.0, 1024.0, 1024.0, MachineRole.AGENT
+                ),
+                "zanzibar": MachineSpec(
+                    "zanzibar", "synthetic", 1000.0, 1024.0, 1024.0, MachineRole.CLIENT
+                ),
+            }
+        )
+        config = MiddlewareConfig(
+            noise_model=None,
+            seed=1,
+            memory_model=MemoryModel(enabled=True, collapse=False),
+            monitor_jitter_s=0.0,
+        )
+        return GridMiddleware(platform, "mct", config=config)
+
+    def test_task_reports_failed_during_the_backoff_window(self):
+        middleware = self._rejecting_middleware()
+        delay = middleware.fault_policy.retry_delay_s
+        task = Task("t-000001", matmul_problem(1200), arrival=0.0)
+        middleware.submit(task)
+        assert task.n_attempts == 1
+        assert task.status is TaskStatus.FAILED  # was SUBMITTED before the fix
+        middleware.env.run(until=delay / 2)
+        assert task.status is TaskStatus.FAILED
+
+    def test_deferred_dispatch_fires_after_the_delay(self):
+        middleware = self._rejecting_middleware()
+        delay = middleware.fault_policy.retry_delay_s
+        task = Task("t-000001", matmul_problem(1200), arrival=0.0)
+        middleware.submit(task)
+        middleware.env.run(until=delay + 1.0)
+        # The retry really happened: a second attempt was made (and rejected
+        # again, since every server is still down).
+        assert task.n_attempts == 2
+        assert task.status is TaskStatus.FAILED
+
+
+class TestHorizonTruncation:
+    """Regression: when ``max_horizon_s`` fires, in-flight tasks must be
+    finalised as failed (reason ``"horizon"``) and the run flagged."""
+
+    def _long_tasks(self, count: int = 3):
+        return [
+            Task(f"t-{i:06d}", matmul_problem(1500), arrival=0.0, client="zanzibar")
+            for i in range(count)
+        ]
+
+    def test_in_flight_tasks_are_finalized_as_failed(self):
+        config = MiddlewareConfig(noise_model=None, seed=1, max_horizon_s=5.0)
+        result = GridMiddleware(first_set_platform(), "msf", config=config).run(
+            self._long_tasks()
+        )
+        assert result.truncated
+        assert result.completed_count == 0
+        assert result.duration == pytest.approx(5.0)
+        for task in result.tasks:
+            assert task.status is TaskStatus.FAILED
+            assert task.attempts, "tasks were mapped before the horizon fired"
+            assert task.attempts[-1].failure_reason == "horizon"
+            assert task.attempts[-1].failed_at == pytest.approx(5.0)
+
+    def test_complete_runs_are_not_flagged(self, first_platform, small_matmul_metatask, quiet_config):
+        result = GridMiddleware(first_platform, "msf", config=quiet_config).run(
+            small_matmul_metatask
+        )
+        assert not result.truncated
+        assert result.completed_count == len(small_matmul_metatask)

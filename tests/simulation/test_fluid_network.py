@@ -158,6 +158,18 @@ class TestMutation:
         with pytest.raises(SimulationError):
             network.advance_to(1.0)
 
+    def test_remove_then_readd_pending_key_uses_the_new_arrival(self):
+        """Regression: a stale arrival-heap entry of a removed pending task
+        must not resurrect when the same key is re-added with a later date."""
+        network = make_network()
+        network.add_task("x", arrival=10.0, stages=(FluidStage("cpu", 1.0),))
+        network.remove_task("x", now=0.0)
+        network.add_task("x", arrival=20.0, stages=(FluidStage("cpu", 1.0),))
+        network.advance_to(12.0)  # crashed with 'advance backwards' before the fix
+        assert not network.task("x").started
+        completions = network.run_to_completion()
+        assert completions["x"] == pytest.approx(21.0)
+
 
 class TestEvents:
     def test_events_report_stage_and_task_completions(self):
