@@ -1,0 +1,93 @@
+"""Benchmarks of the scenario subsystem.
+
+Two layers:
+
+* generation cost — drawing non-homogeneous arrival streams (thinning and
+  MMPP are per-candidate Python loops, so their throughput matters at
+  500-task × many-metatask scale);
+* end-to-end cost — one scenario campaign and a two-scenario sweep at a
+  reduced size, the numbers CI tracks next to ``bench-large-n.json`` to
+  extend the perf trajectory (see ``bench-scenarios.json`` in the workflow).
+
+Shape assertions keep the benchmarks honest: byte-identical ``jobs=1`` vs
+``jobs=2`` sweeps, and every scenario completing tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, ExperimentScale
+from repro.scenarios import run_scenario, sweep_scenarios
+from repro.workload.arrivals import (
+    DiurnalArrivals,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+)
+
+#: Small-but-not-trivial scale: big enough that campaign overheads are
+#: negligible, small enough for CI smoke runs.
+_BENCH_SCENARIO_SCALE = ExperimentScale(
+    name="bench-scenario", task_count=60, metatask_count=1, repetitions=1
+)
+
+
+def _config(seed: int = 2003) -> ExperimentConfig:
+    return ExperimentConfig(scale=_BENCH_SCENARIO_SCALE, seed=seed)
+
+
+def bench_inhomogeneous_thinning_10k(benchmark):
+    """Draw 10 000 diurnal arrivals by thinning."""
+    process = DiurnalArrivals(mean_interarrival=5.0, amplitude=0.8, period_s=3600.0)
+
+    def run():
+        return len(process.dates(10_000, np.random.default_rng(1)))
+
+    assert benchmark(run) == 10_000
+
+
+def bench_mmpp_10k(benchmark):
+    """Draw 10 000 Markov-modulated arrivals."""
+    process = MarkovModulatedArrivals(
+        burst_interarrival=2.0, quiet_interarrival=30.0, mean_burst_s=60.0, mean_quiet_s=120.0
+    )
+
+    def run():
+        return len(process.dates(10_000, np.random.default_rng(2)))
+
+    assert benchmark(run) == 10_000
+
+
+def bench_homogeneous_poisson_10k_reference(benchmark):
+    """The vectorised homogeneous baseline the loops above are compared to."""
+    process = PoissonArrivals(5.0)
+
+    def run():
+        return len(process.dates(10_000, np.random.default_rng(3)))
+
+    assert benchmark(run) == 10_000
+
+
+def bench_scenario_burst_storm(benchmark):
+    """One full burst-storm campaign (4 heuristics × 60 tasks)."""
+    table = benchmark.pedantic(
+        lambda: run_scenario("burst-storm", config=_config()), rounds=1, iterations=1
+    )
+    benchmark.extra_info["columns"] = {
+        name: {k: round(v, 2) for k, v in column.items()}
+        for name, column in table.columns.items()
+    }
+    assert all(table.value(h, "completed tasks") > 0 for h in table.columns)
+
+
+def bench_scenario_sweep_two_regimes(benchmark):
+    """A two-scenario sweep, asserting jobs=1 vs jobs=2 byte-identity."""
+    names = ["paper-low-rate", "flaky-servers"]
+
+    def run():
+        return sweep_scenarios(names, config=_config(), jobs=1)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    parallel = sweep_scenarios(names, config=_config(), jobs=2)
+    assert sweep.render() == parallel.render()
+    benchmark.extra_info["best_per_scenario"] = sweep.best_per_scenario()

@@ -21,5 +21,10 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
-    entry_points={"console_scripts": ["repro-experiment=repro.cli:main"]},
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-experiment=repro.cli:main",
+        ]
+    },
 )

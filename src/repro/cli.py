@@ -1,16 +1,26 @@
 """Command-line interface.
 
-``repro-experiment`` (or ``python -m repro.cli``) runs any registered
-experiment and prints the reproduced table::
+``repro`` (aliases: ``repro-experiment``, ``python -m repro.cli``) runs any
+registered experiment and prints the reproduced table::
 
-    repro-experiment --list
-    repro-experiment table5 --scale smoke
-    repro-experiment table1
-    repro-experiment ablation-arrival-rate-sweep
+    repro --list
+    repro table5 --scale smoke
+    repro table1
+    repro ablation-arrival-rate-sweep
+
+The scenario subsystem has its own subcommand family::
+
+    repro scenario list
+    repro scenario run burst-storm --scale smoke
+    repro scenario run hetero-farm-16 --jobs 4
+    repro scenario sweep --jobs 4
+    repro scenario sweep --scenarios burst-storm,flaky-servers --markdown
 
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
-seconds.
+seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
+results are byte-identical for any value because run seeds derive from cell
+coordinates.
 """
 
 from __future__ import annotations
@@ -29,24 +39,12 @@ from .experiments import (
     run_experiment,
 )
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "build_scenario_parser", "main"]
 
 _SCALES = {"full": FULL_SCALE, "bench": BENCH_SCALE, "smoke": SMOKE_SCALE}
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiment",
-        description="Reproduce the experiments of 'New Dynamic Heuristics in the "
-        "Client-Agent-Server Model' (Caniou & Jeannot, HCW'03).",
-    )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        help="experiment id (see --list), e.g. table5, table1, fig1",
-    )
-    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         choices=sorted(_SCALES),
@@ -65,7 +63,70 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown instead of plain text"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (the classic single-experiment form)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'New Dynamic Heuristics in the "
+        "Client-Agent-Server Model' (Caniou & Jeannot, HCW'03).  "
+        "Use 'repro scenario ...' for the scenario subsystem.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list), e.g. table5, table1, fig1",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    _add_common_options(parser)
     return parser
+
+
+def build_scenario_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro scenario`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro scenario",
+        description="Run declarative scheduling scenarios (see repro.scenarios).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios and exit")
+
+    run_parser = commands.add_parser("run", help="run one scenario and print its table")
+    run_parser.add_argument("name", help="scenario name (see 'repro scenario list')")
+    _add_common_options(run_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a heuristic x scenario grid and rank heuristics per regime"
+    )
+    sweep_parser.add_argument(
+        "--scenarios",
+        metavar="A,B,...",
+        help="comma-separated scenario names (default: every registered scenario)",
+    )
+    sweep_parser.add_argument(
+        "--metric",
+        default="sumflow",
+        help="ranking tie-break metric, lower is better (default: sumflow)",
+    )
+    _add_common_options(sweep_parser)
+    return parser
+
+
+def _config_from(args: argparse.Namespace, parser: argparse.ArgumentParser) -> ExperimentConfig:
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    return ExperimentConfig(scale=_SCALES[args.scale], seed=args.seed, jobs=args.jobs)
+
+
+def _print_result(result, markdown: bool) -> None:
+    if markdown and hasattr(result, "render_markdown"):
+        print(result.render_markdown())
+    elif hasattr(result, "render"):
+        print(result.render())
+    else:  # pragma: no cover - defensive
+        print(result)
 
 
 def _list_experiments() -> str:
@@ -73,11 +134,48 @@ def _list_experiments() -> str:
     for experiment_id in experiment_ids():
         entry = get_experiment(experiment_id)
         lines.append(f"  {experiment_id:<32} {entry.paper_artefact:<28} {entry.description}")
+    lines.append("")
+    lines.append("scenarios: 'repro scenario list' / 'repro scenario run <name>'")
     return "\n".join(lines)
+
+
+def _list_scenarios() -> str:
+    from .scenarios import SCENARIO_REGISTRY
+
+    lines = ["registered scenarios:"]
+    for name, scenario in SCENARIO_REGISTRY.items():
+        lines.append(f"  {name:<18} {scenario.regime:<14} {scenario.description}")
+    return "\n".join(lines)
+
+
+def _scenario_main(argv: List[str]) -> int:
+    from .scenarios import run_scenario, sweep_scenarios
+
+    parser = build_scenario_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print(_list_scenarios())
+        return 0
+
+    config = _config_from(args, parser)
+    if args.command == "run":
+        result = run_scenario(args.name, config=config)
+    else:  # sweep
+        names = None
+        if args.scenarios:
+            names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        result = sweep_scenarios(names=names, config=config, metric=args.metric)
+    _print_result(result, args.markdown)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the CLI."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "scenario":
+        return _scenario_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -85,17 +183,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_list_experiments())
         return 0
 
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
-    config = ExperimentConfig(scale=_SCALES[args.scale], seed=args.seed, jobs=args.jobs)
+    config = _config_from(args, parser)
     result = run_experiment(args.experiment, config)
-
-    if hasattr(result, "render_markdown") and args.markdown:
-        print(result.render_markdown())
-    elif hasattr(result, "render"):
-        print(result.render())
-    else:  # pragma: no cover - defensive
-        print(result)
+    _print_result(result, args.markdown)
     return 0
 
 

@@ -53,7 +53,20 @@ __all__ = [
     "MultiprocessingExecutor",
     "create_executor",
     "run_campaign",
+    "METRIC_ROW_TO_SUMMARY_FIELD",
 ]
+
+#: Metric rows every campaign column carries, mapped to the
+#: :class:`~repro.metrics.flow.MetricSummary` field each one averages.
+#: Scenario sweeps import this mapping to validate ranking metrics, so the
+#: two can never drift apart.
+METRIC_ROW_TO_SUMMARY_FIELD = {
+    "completed tasks": "n_completed",
+    "makespan": "makespan",
+    "sumflow": "sum_flow",
+    "maxflow": "max_flow",
+    "maxstretch": "max_stretch",
+}
 
 
 def derive_seed_offset(metatask_index: int, repetition: int) -> int:
@@ -313,11 +326,8 @@ def run_campaign(
     columns: Dict[str, Dict[str, float]] = {}
     for name, outcome in outcomes.items():
         column: Dict[str, float] = {
-            "completed tasks": outcome.mean_metric("n_completed"),
-            "makespan": outcome.mean_metric("makespan"),
-            "sumflow": outcome.mean_metric("sum_flow"),
-            "maxflow": outcome.mean_metric("max_flow"),
-            "maxstretch": outcome.mean_metric("max_stretch"),
+            row: outcome.mean_metric(field)
+            for row, field in METRIC_ROW_TO_SUMMARY_FIELD.items()
         }
         if name != config.reference and outcome.mean_sooner is not None:
             column["tasks finishing sooner than MCT"] = outcome.mean_sooner

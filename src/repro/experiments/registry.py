@@ -28,6 +28,15 @@ from .validation import run_table1
 __all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "run_experiment", "experiment_ids"]
 
 
+def _run_scenario_sweep(config: Optional[ExperimentConfig] = None):
+    """Registry adapter for the scenario sweep (import deferred: the scenario
+    package pulls in the testbed factories, which this registry must not load
+    at import time)."""
+    from ..scenarios import sweep_scenarios
+
+    return sweep_scenarios(config=config)
+
+
 @dataclass(frozen=True)
 class ExperimentEntry:
     """One reproducible experiment."""
@@ -121,6 +130,12 @@ EXPERIMENTS: Dict[str, ExperimentEntry] = {
         "Section 5.3 discussion",
         ablation_arrival_rate_sweep,
         accepts_config=False,
+    ),
+    "scenario-sweep": ExperimentEntry(
+        "scenario-sweep",
+        "Every registered scenario + cross-scenario heuristic ranking",
+        "beyond the paper (repro.scenarios)",
+        _run_scenario_sweep,
     ),
 }
 

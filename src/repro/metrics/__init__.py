@@ -1,7 +1,13 @@
 """Metrics of Section 3 and comparison / aggregation / reporting helpers."""
 
 from .aggregate import Aggregate, aggregate_summaries, aggregate_values
-from .comparison import PairwiseComparison, compare_runs, tasks_finishing_sooner
+from .comparison import (
+    PairwiseComparison,
+    compare_runs,
+    cross_scenario_ranking,
+    rank_heuristics,
+    tasks_finishing_sooner,
+)
 from .flow import (
     MetricSummary,
     makespan,
@@ -22,6 +28,8 @@ __all__ = [
     "PairwiseComparison",
     "compare_runs",
     "tasks_finishing_sooner",
+    "rank_heuristics",
+    "cross_scenario_ranking",
     "MetricSummary",
     "makespan",
     "sum_flow",

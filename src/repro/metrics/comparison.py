@@ -15,8 +15,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..workload.tasks import Task
+from .report import format_value
 
-__all__ = ["PairwiseComparison", "tasks_finishing_sooner", "compare_runs"]
+__all__ = [
+    "PairwiseComparison",
+    "tasks_finishing_sooner",
+    "compare_runs",
+    "rank_heuristics",
+    "cross_scenario_ranking",
+]
 
 
 def _completion_map(tasks: Iterable[Task]) -> Dict[str, float]:
@@ -99,3 +106,66 @@ def compare_runs(
         for name, tasks in runs.items()
         if name != reference
     }
+
+
+# --------------------------------------------------------------------------- #
+# cross-scenario ranking (the scenario sweep's summary view)
+# --------------------------------------------------------------------------- #
+def rank_heuristics(
+    columns: Mapping[str, Mapping[str, float]],
+    metric: str = "sumflow",
+) -> List[str]:
+    """Rank heuristics from one result table, best first.
+
+    ``columns`` is a ``TableResult.columns``-shaped mapping (heuristic →
+    {metric: value}).  Completed tasks dominate — a heuristic that loses tasks
+    never outranks one that completes more, whatever its flow metrics (the
+    paper's Table 6 lesson) — with the given metric (lower is better) breaking
+    ties; heuristic name breaks exact ties deterministically.  Both the
+    ``"completed tasks"`` row and the tie-break metric must be present in
+    every column: silently defaulting either would let the ranking degrade
+    without any signal.
+    """
+    def sort_key(name: str):
+        column = columns[name]
+        completed = column.get("completed tasks")
+        if completed is None:
+            raise KeyError(f"column {name!r} has no 'completed tasks' row")
+        value = column.get(metric)
+        if value is None:
+            raise KeyError(f"column {name!r} has no metric {metric!r}")
+        return (-completed, value, name)
+
+    return sorted(columns, key=sort_key)
+
+
+def cross_scenario_ranking(
+    scenario_columns: Mapping[str, Mapping[str, Mapping[str, float]]],
+    metric: str = "sumflow",
+) -> Dict[str, Dict[str, str]]:
+    """Build the cross-scenario summary table ranking heuristics per regime.
+
+    ``scenario_columns`` maps scenario name → ``TableResult.columns``.  The
+    result maps heuristic → {scenario: ``"#rank (value)"``} — ready for
+    :func:`repro.metrics.report.render_table` with scenarios as rows — ranked
+    by :func:`rank_heuristics` per scenario.  Scenarios missing a heuristic
+    get a ``"-"`` cell rather than an error, so sweeps over scenarios with
+    different heuristic sets still render.
+    """
+    heuristics: List[str] = []
+    for columns in scenario_columns.values():
+        for name in columns:
+            if name not in heuristics:
+                heuristics.append(name)
+
+    table: Dict[str, Dict[str, str]] = {name: {} for name in heuristics}
+    for scenario, columns in scenario_columns.items():
+        ranked = rank_heuristics(columns, metric=metric)
+        positions = {name: i + 1 for i, name in enumerate(ranked)}
+        for name in heuristics:
+            if name in columns:
+                value = format_value(columns[name].get(metric))
+                table[name][scenario] = f"#{positions[name]} ({metric} {value})"
+            else:
+                table[name][scenario] = "-"
+    return table

@@ -61,7 +61,12 @@ def render_table(
     col_names = _column_order(columns, column_order)
     row_names = _row_order(columns, row_order)
     label_width = max([len(r) for r in row_names] + [10])
-    col_width = max([len(c) for c in col_names] + [12]) + 2
+    cell_widths = [
+        len(format_value(columns[col].get(row)))
+        for col in col_names
+        for row in row_names
+    ]
+    col_width = max([len(c) for c in col_names] + [12] + cell_widths) + 2
 
     lines: List[str] = []
     if title:

@@ -10,7 +10,14 @@ is what makes the comparison between MCT and the HTM heuristics meaningful.
 
 from .agent import Agent, AgentStats, ServerRegistration
 from .client import Client
-from .faults import FaultTolerancePolicy, MemoryModel, SpeedNoiseModel
+from .faults import (
+    FaultSchedule,
+    FaultTolerancePolicy,
+    MemoryModel,
+    OutageWindow,
+    SlowdownWindow,
+    SpeedNoiseModel,
+)
 from .middleware import GridMiddleware, MiddlewareConfig, RunResult
 from .monitors import LoadMonitor, LoadReport
 from .server import (
@@ -38,6 +45,9 @@ __all__ = [
     "FaultTolerancePolicy",
     "MemoryModel",
     "SpeedNoiseModel",
+    "FaultSchedule",
+    "OutageWindow",
+    "SlowdownWindow",
     "GridMiddleware",
     "MiddlewareConfig",
     "RunResult",

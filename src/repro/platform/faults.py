@@ -17,11 +17,18 @@ that behaviour reproducible:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Tuple, Union
 
 import numpy as np
 
-__all__ = ["MemoryModel", "SpeedNoiseModel", "FaultTolerancePolicy"]
+__all__ = [
+    "MemoryModel",
+    "SpeedNoiseModel",
+    "FaultTolerancePolicy",
+    "OutageWindow",
+    "SlowdownWindow",
+    "FaultSchedule",
+]
 
 
 @dataclass(frozen=True)
@@ -122,3 +129,98 @@ class FaultTolerancePolicy:
     def disabled(cls) -> "FaultTolerancePolicy":
         """A policy that never retries (used for HMCT/MP/MSF as in the paper)."""
         return cls(enabled=False, max_attempts=1, retry_delay_s=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# scheduled fault / churn windows (the scenario subsystem's "flaky servers")
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OutageWindow:
+    """A planned outage of one server over ``[start_s, end_s)``.
+
+    At ``start_s`` the server goes down: every resident task fails (and is
+    retried or not, per the run's fault-tolerance policy) and the agent is
+    notified, exactly as for a memory collapse.  At ``end_s`` the server
+    re-registers.  Unlike collapses, the window is part of the *scenario*, not
+    of the memory model, so it replays identically under every heuristic.
+    """
+
+    server: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be strictly after start_s")
+
+
+@dataclass(frozen=True)
+class SlowdownWindow:
+    """A CPU slowdown of one server over ``[start_s, end_s)``.
+
+    During the window the server's effective CPU capacity is multiplied by
+    ``factor`` (0 < factor; values above 1 model a temporary speed-up).  The
+    slowdown composes multiplicatively with the speed-noise and thrashing
+    models, and monitors/HTM observe it only through their usual channels —
+    which is precisely what makes stale-information scenarios interesting.
+    """
+
+    server: str
+    start_s: float
+    end_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be strictly after start_s")
+        if self.factor <= 0:
+            raise ValueError("factor must be strictly positive")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic per-run schedule of outage and slowdown windows.
+
+    The schedule is a frozen value object (picklable, shippable to campaign
+    workers) wired through :class:`~repro.platform.middleware.MiddlewareConfig`;
+    the middleware turns each window into simulation-clock callbacks at
+    construction time.  Overlapping slowdown windows on the same server are
+    rejected — their composition would depend on callback ordering.
+    """
+
+    windows: Tuple[Union[OutageWindow, SlowdownWindow], ...] = ()
+
+    def __post_init__(self) -> None:
+        by_server: dict = {}
+        for window in self.windows:
+            by_server.setdefault((window.server, type(window)), []).append(window)
+        for (server, kind), group in by_server.items():
+            group = sorted(group, key=lambda w: w.start_s)
+            for earlier, later in zip(group, group[1:]):
+                if later.start_s < earlier.end_s:
+                    raise ValueError(
+                        f"overlapping {kind.__name__}s on server {server!r}: "
+                        f"[{earlier.start_s}, {earlier.end_s}) and "
+                        f"[{later.start_s}, {later.end_s})"
+                    )
+
+    def __bool__(self) -> bool:
+        return bool(self.windows)
+
+    def server_names(self) -> Tuple[str, ...]:
+        """Names of the servers the schedule touches (deduplicated, ordered)."""
+        seen: List[str] = []
+        for window in self.windows:
+            if window.server not in seen:
+                seen.append(window.server)
+        return tuple(seen)
+
+    def for_server(self, name: str) -> Tuple[Union[OutageWindow, SlowdownWindow], ...]:
+        """The windows targeting one server, ordered by start date."""
+        return tuple(
+            sorted((w for w in self.windows if w.server == name), key=lambda w: w.start_s)
+        )

@@ -26,7 +26,14 @@ from ..workload.problems import ProblemCatalogue, PAPER_CATALOGUE
 from ..workload.tasks import Task, TaskStatus
 from .agent import Agent
 from .client import Client
-from .faults import FaultTolerancePolicy, MemoryModel, SpeedNoiseModel
+from .faults import (
+    FaultSchedule,
+    FaultTolerancePolicy,
+    MemoryModel,
+    OutageWindow,
+    SlowdownWindow,
+    SpeedNoiseModel,
+)
 from .monitors import LoadMonitor
 from .server import ComputeServer
 from .spec import MachineRole, PlatformSpec
@@ -62,6 +69,9 @@ class MiddlewareConfig:
     seed: int = 0
     #: Hard bound on the simulated time of a run (safety net).
     max_horizon_s: float = 1_000_000.0
+    #: Optional deterministic schedule of server outage / slowdown windows
+    #: (the scenario subsystem's churn model).  ``None`` disables it.
+    fault_schedule: Optional[FaultSchedule] = None
 
     def effective_memory_model(self) -> MemoryModel:
         """Memory model actually applied to servers (honours ``memory_enabled``)."""
@@ -202,11 +212,64 @@ class GridMiddleware:
                 rng=self.streams[f"monitor/{name}"],
             )
 
+        self._wire_fault_schedule()
+
         self._tasks: List[Task] = []
         self._terminal = 0
         self._expected = 0
         self._finished_event = None
         self._ran = False
+
+    def _wire_fault_schedule(self) -> None:
+        """Turn the configured fault schedule into simulation-clock callbacks.
+
+        Every window boundary becomes a timeout on the environment's calendar,
+        so the schedule replays identically under every heuristic and every
+        campaign executor (it depends on the simulated clock only).
+        """
+        schedule = self.config.fault_schedule
+        if not schedule:
+            return
+        unknown = [n for n in schedule.server_names() if n not in self.servers]
+        if unknown:
+            raise PlatformError(
+                f"fault schedule targets unknown servers {sorted(unknown)}; "
+                f"platform has {sorted(self.servers)}"
+            )
+        # Same-instant timeouts fire in creation order, so the wiring order
+        # encodes the boundary semantics of back-to-back windows (declaration
+        # order is not required to be sorted):
+        # * slowdowns interleave start/end in chronological order — the old
+        #   window's end-callback (restore 1.0) must fire before the new
+        #   window's start-callback, or it would undo it;
+        # * outages create every begin-callback before any end-callback — at a
+        #   shared boundary the outage depth then goes 1 → 2 → 1 and the
+        #   server stays down continuously instead of flapping up/down (no
+        #   spurious agent re-registration between touching windows).
+        ordered = sorted(schedule.windows, key=lambda w: (w.start_s, w.end_s))
+        slowdowns = [w for w in ordered if isinstance(w, SlowdownWindow)]
+        outages = [w for w in ordered if isinstance(w, OutageWindow)]
+        unknown_kinds = [w for w in ordered if not isinstance(w, (SlowdownWindow, OutageWindow))]
+        if unknown_kinds:  # pragma: no cover - defensive
+            raise PlatformError(f"unknown fault window type {type(unknown_kinds[0])!r}")
+        for window in slowdowns:
+            server = self.servers[window.server]
+            start = self.env.timeout(window.start_s)
+            start.callbacks.append(
+                lambda _evt, s=server, f=window.factor: s.set_slowdown(f)
+            )
+            end = self.env.timeout(window.end_s)
+            end.callbacks.append(lambda _evt, s=server: s.set_slowdown(1.0))
+        for window in outages:
+            start = self.env.timeout(window.start_s)
+            start.callbacks.append(
+                lambda _evt, s=self.servers[window.server]: s.begin_outage()
+            )
+        for window in outages:
+            end = self.env.timeout(window.end_s)
+            end.callbacks.append(
+                lambda _evt, s=self.servers[window.server]: s.end_outage()
+            )
 
     # ------------------------------------------------------------------ #
     # setup helpers

@@ -64,6 +64,7 @@ class ServerStats:
     failed: int = 0
     rejected: int = 0
     collapses: int = 0
+    outages: int = 0
     peak_cpu_tasks: int = 0
     peak_resident_mb: float = 0.0
     busy_compute_seconds: float = 0.0
@@ -76,6 +77,7 @@ class ServerStats:
             "failed": self.failed,
             "rejected": self.rejected,
             "collapses": self.collapses,
+            "outages": self.outages,
             "peak_cpu_tasks": self.peak_cpu_tasks,
             "peak_resident_mb": round(self.peak_resident_mb, 2),
             "busy_compute_seconds": round(self.busy_compute_seconds, 2),
@@ -127,6 +129,16 @@ class ComputeServer:
         )
         self._base_cpu_capacity = float(spec.cpu_count)
         self._noise_factor = 1.0
+        self._slowdown_factor = 1.0
+        # Number of scheduled outage windows currently open.  A counter, not
+        # a flag: the middleware fires every begin-callback before any
+        # end-callback at a shared boundary instant, so touching windows
+        # overlap here (depth 1 → 2 → 1) and the server stays down
+        # continuously as long as *any* window is open.
+        self._outage_depth = 0
+        # Simulated date a pending memory-collapse recovery is due, or None.
+        # An outage window closing earlier must not cut this downtime short.
+        self._collapse_recovery_at: Optional[float] = None
         self._up = True
         self._tasks: Dict[str, Task] = {}
         self._resident_mb = 0.0
@@ -318,8 +330,8 @@ class ComputeServer:
     # ------------------------------------------------------------------ #
     # collapse / recovery
     # ------------------------------------------------------------------ #
-    def _collapse(self, now: float) -> None:
-        self.stats.collapses += 1
+    def _go_down(self, now: float, reason: str) -> None:
+        """Take the server down, failing every resident task with ``reason``."""
         self._up = False
         victims = list(self._tasks.values())
         self._tasks.clear()
@@ -327,22 +339,81 @@ class ComputeServer:
         for task in victims:
             if task.task_id in self.network:
                 self.network.remove_task(task.task_id, now)
-            task.mark_failed(now, f"server {self.name} collapsed (out of memory)")
+            task.mark_failed(now, f"server {self.name} {reason}")
             self.stats.failed += 1
         self._refresh_cpu_capacity()
         for callback in list(self.on_collapse):
             callback(self, now)
         for task in victims:
             for callback in list(self.on_failure):
-                callback(task, now, "server collapsed (out of memory)")
+                callback(task, now, reason)
+
+    def _collapse(self, now: float) -> None:
+        self.stats.collapses += 1
+        self._go_down(now, "collapsed (out of memory)")
         # Schedule the recovery.
+        self._collapse_recovery_at = now + self.memory_model.recovery_s
         recovery = self.env.timeout(self.memory_model.recovery_s)
-        recovery.callbacks.append(lambda _evt: self._recover())
+        recovery.callbacks.append(lambda _evt: self._recover_from_collapse())
+
+    def _recover_from_collapse(self) -> None:
+        """The memory model's mandated downtime is over; recover unless a
+        scheduled outage window is still holding the server down."""
+        self._collapse_recovery_at = None
+        self._recover()
 
     def _recover(self) -> None:
+        if self._outage_depth > 0:
+            return  # a scheduled outage window is still open; stay down
+        if self._up:
+            return  # already recovered (e.g. an outage ended before this timer)
         self._up = True
         for callback in list(self.on_recovery):
             callback(self, self.env.now)
+        self._sync_wakeup()
+
+    # ------------------------------------------------------------------ #
+    # scheduled faults (scenario fault/churn schedules)
+    # ------------------------------------------------------------------ #
+    def begin_outage(self) -> None:
+        """Start a scheduled outage: resident tasks fail, server goes down.
+
+        Unlike a memory collapse, no recovery is scheduled here — the caller
+        (the middleware's fault-schedule wiring) calls :meth:`end_outage` at
+        the end of the window.  Calling this while already down (e.g. during
+        a collapse recovery) only extends the downtime.
+        """
+        now = self.env.now
+        self._advance(now)
+        self.stats.outages += 1
+        self._outage_depth += 1
+        if self._up:
+            self._go_down(now, "outage (scheduled)")
+        # else: already down; the outage merely overlaps the collapse.
+
+    def end_outage(self) -> None:
+        """End one scheduled outage window; the server re-registers with the
+        agent once no window remains open *and* no collapse downtime is still
+        pending (an outage overlapping a collapse only extends the downtime,
+        never shortens the memory model's ``recovery_s``)."""
+        self._outage_depth = max(0, self._outage_depth - 1)
+        if self._outage_depth > 0 or self._up or self._collapse_recovery_at is not None:
+            return
+        self._recover()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Multiply the CPU capacity by ``factor`` (1.0 restores nominal speed).
+
+        Composes multiplicatively with the speed-noise and thrashing models;
+        takes effect immediately for every resident task (fluid capacities are
+        piecewise constant).
+        """
+        if factor <= 0:
+            raise PlatformError("slowdown factor must be strictly positive")
+        now = self.env.now
+        self._advance(now)
+        self._slowdown_factor = float(factor)
+        self._refresh_cpu_capacity()
         self._sync_wakeup()
 
     # ------------------------------------------------------------------ #
@@ -350,7 +421,7 @@ class ComputeServer:
     # ------------------------------------------------------------------ #
     def _refresh_cpu_capacity(self) -> None:
         thrash = self.memory_model.thrash_factor(self._resident_mb, self.spec.usable_memory_mb)
-        per_cpu_speed = self._noise_factor * thrash
+        per_cpu_speed = self._noise_factor * thrash * self._slowdown_factor
         capacity = self._base_cpu_capacity * per_cpu_speed
         if abs(capacity - self.network.capacity(RESOURCE_CPU)) > 1e-12:
             events = self.network.set_capacity(

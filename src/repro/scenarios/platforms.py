@@ -1,0 +1,129 @@
+"""Platform generators beyond the paper's two server quadruplets.
+
+The paper evaluates on exactly two four-server testbeds drawn from Table 2.
+The scenario subsystem needs platforms of arbitrary size and heterogeneity:
+
+* :func:`homogeneous_farm` — N identical servers (the clean baseline where
+  every heuristic difference comes from timing, not speed);
+* :func:`power_law_farm` — N servers whose speeds follow a Pareto-style
+  power law, deterministically sampled at mid-quantiles so the same call
+  always builds the same platform (no RNG involved);
+* :func:`replicated_paper_farm` — N servers cycling through the Table 2
+  machines' hardware profiles (an "N-server variant" of the paper testbed;
+  replicas carry suffixed names, so costs come from the catalogue's generic
+  speed model rather than the per-machine measured tables — documented in
+  EXPERIMENTS.md).
+
+Every generator returns a complete :class:`~repro.platform.spec.PlatformSpec`
+with one synthetic agent and one synthetic client, mirroring the naming
+convention of :func:`repro.workload.testbed.synthetic_platform`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..platform.spec import MachineRole, MachineSpec, PAPER_MACHINES, PlatformSpec
+from ..workload.testbed import synthetic_agent_and_client
+
+__all__ = [
+    "homogeneous_farm",
+    "power_law_farm",
+    "replicated_paper_farm",
+]
+
+
+def _agent_and_client(machines: Dict[str, MachineSpec]) -> Dict[str, MachineSpec]:
+    machines.update(synthetic_agent_and_client())
+    return machines
+
+
+def homogeneous_farm(
+    n_servers: int,
+    speed_mhz: float = 1200.0,
+    memory_mb: float = 512.0,
+    swap_mb: float = 512.0,
+) -> PlatformSpec:
+    """A farm of ``n_servers`` identical servers (``farm-0`` ... ``farm-N-1``)."""
+    if n_servers < 1:
+        raise ValueError("n_servers must be at least 1")
+    machines: Dict[str, MachineSpec] = {}
+    for i in range(n_servers):
+        name = f"farm-{i}"
+        machines[name] = MachineSpec(
+            name=name, processor="synthetic homogeneous", speed_mhz=speed_mhz,
+            memory_mb=memory_mb, swap_mb=swap_mb, role=MachineRole.SERVER,
+        )
+    return PlatformSpec(machines=_agent_and_client(machines))
+
+
+def power_law_farm(
+    n_servers: int,
+    min_speed_mhz: float = 400.0,
+    alpha: float = 1.5,
+    memory_mb: float = 512.0,
+    swap_mb: float = 512.0,
+) -> PlatformSpec:
+    """A heterogeneous farm whose server speeds follow a power law.
+
+    Speeds are the Pareto(α, scale=``min_speed_mhz``) inverse CDF evaluated at
+    the deterministic mid-quantiles ``q_i = (i + 0.5) / n``:
+    ``speed_i = min_speed · (1 − q_i)^(−1/α)``.  Smaller α → heavier tail →
+    a few servers that dwarf the rest, the regime where greedy MCT piles work
+    onto the giants and the HTM heuristics should shine.  Being quantile-based
+    (not sampled), the same parameters always produce the same platform.
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be at least 1")
+    if alpha <= 0:
+        raise ValueError("alpha must be strictly positive")
+    if min_speed_mhz <= 0:
+        raise ValueError("min_speed_mhz must be strictly positive")
+    machines: Dict[str, MachineSpec] = {}
+    for i in range(n_servers):
+        q = (i + 0.5) / n_servers
+        speed = min_speed_mhz * (1.0 - q) ** (-1.0 / alpha)
+        name = f"plaw-{i}"
+        machines[name] = MachineSpec(
+            name=name, processor=f"synthetic power-law(alpha={alpha:g})",
+            speed_mhz=round(speed, 1), memory_mb=memory_mb, swap_mb=swap_mb,
+            role=MachineRole.SERVER,
+        )
+    return PlatformSpec(machines=_agent_and_client(machines))
+
+
+#: Hardware profiles cycled through by :func:`replicated_paper_farm` — the six
+#: server rows of Table 2, in the paper's order.
+PAPER_SERVER_PROFILES: Tuple[str, ...] = (
+    "chamagne", "cabestan", "artimon", "pulney", "valette", "spinnaker",
+)
+
+
+def replicated_paper_farm(
+    n_servers: int,
+    profiles: Sequence[str] = PAPER_SERVER_PROFILES,
+) -> PlatformSpec:
+    """An N-server farm cycling through the Table 2 machine profiles.
+
+    Server ``i`` copies the hardware of ``profiles[i % len(profiles)]`` under
+    the name ``{profile}-{i}``.  Because the names differ from the original
+    machines, *every* replica (including the first) prices tasks through the
+    catalogue's generic speed model — replicas of the same profile are exact
+    peers, which keeps the farm's behaviour uniform per profile.
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be at least 1")
+    unknown = [p for p in profiles if p not in PAPER_MACHINES]
+    if unknown:
+        raise ValueError(f"unknown Table 2 machines: {unknown}")
+    machines: Dict[str, MachineSpec] = {}
+    for i in range(n_servers):
+        base = PAPER_MACHINES[profiles[i % len(profiles)]]
+        name = f"{base.name}-{i}"
+        machines[name] = MachineSpec(
+            name=name, processor=base.processor, speed_mhz=base.speed_mhz,
+            memory_mb=base.memory_mb, swap_mb=base.swap_mb,
+            role=MachineRole.SERVER, os_reserved_mb=base.os_reserved_mb,
+            cpu_count=base.cpu_count,
+        )
+    return PlatformSpec(machines=_agent_and_client(machines))

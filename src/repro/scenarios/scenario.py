@@ -1,0 +1,398 @@
+"""Declarative scheduling scenarios.
+
+A :class:`Scenario` bundles everything that defines one evaluation *regime*:
+a platform generator, a workload family, an arrival process and an optional
+fault/churn schedule.  Scenarios are declarative — they name factories, not
+instances — and materialise against an :class:`ExperimentConfig`, so the same
+scenario runs at ``smoke``, ``bench`` or ``full`` scale (arrival profiles and
+fault windows stretch with the expected span of the run).
+
+:data:`SCENARIO_REGISTRY` is the named catalogue (``paper-low-rate``,
+``burst-storm``, ``diurnal-week``, ...).  :func:`run_scenario` executes one
+scenario through the campaign engine of :mod:`repro.experiments.campaign`:
+cells are seeded from ``(scenario, metatask, repetition)`` coordinates — the
+scenario contributes a CRC-derived base offset, the cells their usual
+coordinate offsets — so any ``--jobs`` level reproduces the same table byte
+for byte, and adding a scenario to the registry never changes another
+scenario's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..experiments.campaign import run_campaign
+from ..experiments.config import ExperimentConfig, FULL_SCALE, PAPER_HEURISTIC_ORDER
+from ..platform.faults import FaultSchedule, OutageWindow, SlowdownWindow
+from ..platform.spec import PlatformSpec
+from ..workload.arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MarkovModulatedArrivals,
+    MergedArrivals,
+    PoissonArrivals,
+    RampArrivals,
+)
+from ..workload.metatask import Metatask, generate_metatask
+from ..workload.problems import MATMUL_PROBLEMS, WASTECPU_PROBLEMS
+from ..workload.testbed import first_set_platform, second_set_platform
+from .platforms import homogeneous_farm, power_law_farm, replicated_paper_farm
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_REGISTRY",
+    "scenario_names",
+    "get_scenario",
+    "scenario_seed_offset",
+    "build_scenario_metatasks",
+    "run_scenario",
+]
+
+#: Factories materialised against the declaring scenario and the run's
+#: configuration: profiles scale through ``scenario.expected_span_s(config)``
+#: and the scenario's declared ``mean_interarrival_s``.
+ArrivalsFactory = Callable[["Scenario", ExperimentConfig], ArrivalProcess]
+ScheduleFactory = Callable[["Scenario", ExperimentConfig], FaultSchedule]
+
+#: Problem families a scenario can draw its tasks from.
+_FAMILIES = {
+    "matmul": lambda: [MATMUL_PROBLEMS[k] for k in sorted(MATMUL_PROBLEMS)],
+    "wastecpu": lambda: [WASTECPU_PROBLEMS[k] for k in sorted(WASTECPU_PROBLEMS)],
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named evaluation regime for the scheduling heuristics.
+
+    Parameters
+    ----------
+    name / description / regime:
+        Identity and the load regime the scenario stresses (``"baseline"``,
+        ``"bursty"``, ``"diurnal"``, ``"ramping"``, ``"heterogeneous"``,
+        ``"churn"`` ...); the regime labels the cross-scenario ranking rows.
+    platform_factory:
+        Zero-argument callable building the :class:`PlatformSpec`.
+    problem_family:
+        ``"matmul"`` or ``"wastecpu"`` (Tables 3 / 4 of the paper).
+    arrivals:
+        Callable mapping ``(scenario, config)`` to an :class:`ArrivalProcess`;
+        receiving the pair lets diurnal periods, ramp windows, etc. stretch
+        with :meth:`expected_span_s` and the declared mean.
+    mean_interarrival_s:
+        The scenario's *nominal* gap — the single reference value the
+        factories scale from (via :meth:`expected_span_s` or directly), so a
+        scenario's load level is declared in one place.  For non-homogeneous
+        profiles the realized average can differ from the nominal value
+        (e.g. a ramp's time-averaged rate exceeds its nominal rate once the
+        fast phase dominates); treat :meth:`expected_span_s` as an order-of-
+        magnitude yardstick, not an exact arrival horizon.
+    fault_schedule:
+        Optional callable mapping ``(scenario, config)`` to a
+        :class:`FaultSchedule` (scheduled outages / slowdowns).
+    heuristics / reference:
+        The compared heuristics and the pairwise-comparison reference.
+    notes:
+        Free-form lines surfaced in the rendered table.
+    """
+
+    name: str
+    description: str
+    regime: str
+    platform_factory: Callable[[], PlatformSpec]
+    problem_family: str
+    arrivals: ArrivalsFactory
+    mean_interarrival_s: float
+    fault_schedule: Optional[ScheduleFactory] = None
+    heuristics: Tuple[str, ...] = PAPER_HEURISTIC_ORDER
+    reference: str = "mct"
+    notes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.problem_family not in _FAMILIES:
+            raise ExperimentError(
+                f"unknown problem family {self.problem_family!r}; "
+                f"available: {sorted(_FAMILIES)}"
+            )
+        if self.reference not in self.heuristics:
+            raise ExperimentError(
+                f"reference {self.reference!r} is not among heuristics {self.heuristics}"
+            )
+        if self.mean_interarrival_s <= 0:
+            raise ExperimentError("mean_interarrival_s must be strictly positive")
+
+    def expected_span_s(self, config: ExperimentConfig) -> float:
+        """Rough duration of the arrival window at this configuration's scale.
+
+        ``task_count × mean_interarrival_s`` — exact for homogeneous Poisson
+        scenarios, an upper-bound-flavoured estimate for bursty/ramping ones
+        (whose realized average rate can exceed the nominal rate).  Fault
+        windows placed late in the span should use conservative fractions.
+        """
+        return config.scale.task_count * self.mean_interarrival_s
+
+    def problems(self) -> List:
+        """The problem specs of the scenario's family, in stable order."""
+        return _FAMILIES[self.problem_family]()
+
+
+def scenario_seed_offset(name: str) -> int:
+    """Deterministic per-scenario seed base, derived from the name only.
+
+    The offset is a multiple of 1 000 000, far above any cell coordinate
+    offset (``metatask_index * 1000 + repetition``), so scenario streams never
+    collide with each other or with the paper tables' streams — and adding or
+    reordering registry entries cannot change any existing scenario's numbers.
+    """
+    return (zlib.crc32(name.encode("utf-8")) % 1_000_003) * 1_000_000
+
+
+def build_scenario_metatasks(scenario: Scenario, config: ExperimentConfig) -> List[Metatask]:
+    """Draw the scenario's metatasks (same draws for any executor / jobs level).
+
+    Each metatask seeds its generator from the ``(root seed, scenario CRC,
+    metatask index)`` triple, so metatask *i* of a scenario is identical no
+    matter how many metatasks are drawn or which scenarios ran before.
+    """
+    arrivals = scenario.arrivals(scenario, config)
+    problems = scenario.problems()
+    crc = zlib.crc32(scenario.name.encode("utf-8"))
+    metatasks = []
+    for index in range(config.scale.metatask_count):
+        rng = np.random.default_rng([config.seed % 2**32, crc, index])
+        metatasks.append(
+            generate_metatask(
+                name=f"{scenario.name}-{config.scale.name}-m{index}",
+                problems=problems,
+                count=config.scale.task_count,
+                arrivals=arrivals,
+                rng=rng,
+            )
+        )
+    return metatasks
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = None,
+):
+    """Run one scenario through the campaign engine; returns a ``TableResult``.
+
+    ``jobs`` (or ``config.jobs``) sets the campaign parallelism; results are
+    byte-identical at any level because every cell's seed derives from its
+    coordinates plus the scenario's CRC base offset.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
+
+    middleware = config.middleware
+    if scenario.fault_schedule is not None:
+        middleware = replace(middleware, fault_schedule=scenario.fault_schedule(scenario, config))
+    effective = replace(
+        config,
+        seed=config.seed + scenario_seed_offset(scenario.name),
+        heuristics=scenario.heuristics,
+        reference=scenario.reference,
+        middleware=middleware,
+    )
+
+    metatasks = build_scenario_metatasks(scenario, effective)
+    notes = [f"scenario: {scenario.name} ({scenario.regime}); {scenario.description}"]
+    notes.extend(scenario.notes)
+    return run_campaign(
+        experiment_id=f"scenario-{scenario.name}",
+        title=(
+            f"Scenario {scenario.name} — {scenario.description} "
+            f"({config.scale.task_count} tasks × {config.scale.metatask_count} metatasks)"
+        ),
+        platform=scenario.platform_factory(),
+        metatasks=metatasks,
+        config=effective,
+        notes=notes,
+        jobs=jobs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the named registry
+# --------------------------------------------------------------------------- #
+def _poisson_arrivals(scenario: Scenario, config: ExperimentConfig) -> ArrivalProcess:
+    """Homogeneous Poisson at the scenario's declared mean."""
+    return PoissonArrivals(scenario.mean_interarrival_s)
+
+
+def _burst_storm_arrivals(scenario: Scenario, config: ExperimentConfig) -> ArrivalProcess:
+    # A steady trickle superposed with on-off storms: bursts pack arrivals
+    # every 5 s for ~2 simulated minutes, then go silent for ~4 minutes.  The
+    # background rate is derived so the superposition's average gap equals the
+    # scenario's declared mean: background = 1/mean − duty/burst_gap.
+    burst_gap = 5.0
+    mean_burst_s, mean_quiet_s = 120.0, 240.0
+    duty = mean_burst_s / (mean_burst_s + mean_quiet_s)
+    background_rate = 1.0 / scenario.mean_interarrival_s - duty / burst_gap
+    if background_rate <= 0:
+        raise ExperimentError(
+            f"burst parameters alone exceed the declared mean rate "
+            f"1/{scenario.mean_interarrival_s:g}; lower mean_interarrival_s"
+        )
+    return MergedArrivals(
+        [
+            PoissonArrivals(1.0 / background_rate),
+            MarkovModulatedArrivals(
+                burst_interarrival=burst_gap,
+                quiet_interarrival=math.inf,
+                mean_burst_s=mean_burst_s,
+                mean_quiet_s=mean_quiet_s,
+            ),
+        ]
+    )
+
+
+def _diurnal_week_arrivals(scenario: Scenario, config: ExperimentConfig) -> ArrivalProcess:
+    # Seven "days" over the run, whatever the scale: the period stretches so
+    # a smoke run sees the same number of peaks as a full one.
+    return DiurnalArrivals(
+        mean_interarrival=scenario.mean_interarrival_s,
+        amplitude=0.85,
+        period_s=scenario.expected_span_s(config) / 7.0,
+        phase_rad=-math.pi / 2.0,  # start the week at the load trough
+    )
+
+
+def _ramp_surge_arrivals(scenario: Scenario, config: ExperimentConfig) -> ArrivalProcess:
+    # Load doubles-and-doubles: the mean gap shrinks 4x over 70 % of the run.
+    mean = scenario.mean_interarrival_s
+    return RampArrivals(
+        start_interarrival=2.0 * mean,
+        end_interarrival=0.5 * mean,
+        duration_s=0.7 * scenario.expected_span_s(config),
+    )
+
+
+def _flaky_servers_schedule(scenario: Scenario, config: ExperimentConfig) -> FaultSchedule:
+    span = scenario.expected_span_s(config)
+    return FaultSchedule(
+        windows=(
+            # The fastest server of the second testbed drops out mid-run...
+            OutageWindow(server="spinnaker", start_s=0.30 * span, end_s=0.45 * span),
+            # ... and the second-fastest crawls at 30 % speed for a long spell.
+            SlowdownWindow(
+                server="artimon", start_s=0.50 * span, end_s=0.80 * span, factor=0.3
+            ),
+        )
+    )
+
+
+SCENARIO_REGISTRY: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="paper-low-rate",
+            description="the paper's Table 5 protocol as a scenario (baseline regime)",
+            regime="baseline",
+            platform_factory=first_set_platform,
+            problem_family="matmul",
+            arrivals=_poisson_arrivals,
+            mean_interarrival_s=20.0,
+            notes=("servers: chamagne, pulney, cabestan, artimon (Table 2)",),
+        ),
+        Scenario(
+            name="burst-storm",
+            description="steady trickle + Markov-modulated arrival storms (5 s gaps in bursts)",
+            regime="bursty",
+            platform_factory=first_set_platform,
+            problem_family="matmul",
+            arrivals=_burst_storm_arrivals,
+            mean_interarrival_s=12.0,
+            notes=(
+                "superposition: Poisson background (mean 60 s) + on-off bursts "
+                "(~120 s storms every ~240 s)",
+            ),
+        ),
+        Scenario(
+            name="diurnal-week",
+            description="sinusoidal day/night load, seven peaks over the run",
+            regime="diurnal",
+            platform_factory=second_set_platform,
+            problem_family="wastecpu",
+            arrivals=_diurnal_week_arrivals,
+            mean_interarrival_s=20.0,
+            notes=("rate swings ±85 % around the paper's low rate; period = span/7",),
+        ),
+        Scenario(
+            name="ramp-surge",
+            description="arrival rate ramping 4x up over 70 % of the run, then flat",
+            regime="ramping",
+            platform_factory=second_set_platform,
+            problem_family="wastecpu",
+            arrivals=_ramp_surge_arrivals,
+            mean_interarrival_s=20.0,
+        ),
+        Scenario(
+            name="hetero-farm-16",
+            description="16-server power-law speed mix at 4x the paper's low rate",
+            regime="heterogeneous",
+            platform_factory=lambda: power_law_farm(16, min_speed_mhz=400.0, alpha=1.5),
+            problem_family="wastecpu",
+            arrivals=_poisson_arrivals,
+            mean_interarrival_s=5.0,
+            notes=("speeds are deterministic Pareto(1.5) mid-quantiles from 400 MHz",),
+        ),
+        Scenario(
+            name="homog-farm-8",
+            description="8 identical servers — heuristic differences come from timing only",
+            regime="homogeneous",
+            platform_factory=lambda: homogeneous_farm(8, speed_mhz=1200.0),
+            problem_family="wastecpu",
+            arrivals=_poisson_arrivals,
+            mean_interarrival_s=10.0,
+        ),
+        Scenario(
+            name="paper-farm-12",
+            description="12 servers cycling the Table 2 hardware profiles (generic costs)",
+            regime="scale-out",
+            platform_factory=lambda: replicated_paper_farm(12),
+            problem_family="matmul",
+            arrivals=_poisson_arrivals,
+            mean_interarrival_s=20.0 / 3.0,
+            notes=("replicas price tasks via the generic speed model, not Tables 3/4",),
+        ),
+        Scenario(
+            name="flaky-servers",
+            description="paper testbed with a mid-run outage and a long 30 % slowdown",
+            regime="churn",
+            platform_factory=second_set_platform,
+            problem_family="wastecpu",
+            arrivals=_poisson_arrivals,
+            mean_interarrival_s=20.0,
+            fault_schedule=_flaky_servers_schedule,
+            notes=(
+                "spinnaker down over [0.30, 0.45) of the span; "
+                "artimon at 30 % speed over [0.50, 0.80)",
+            ),
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """Names of every registered scenario, in registry order."""
+    return list(SCENARIO_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIO_REGISTRY)}"
+        ) from None

@@ -7,8 +7,17 @@ imported eagerly here because it depends on :mod:`repro.platform`.
 
 from .arrivals import (
     ArrivalProcess,
+    ConstantRate,
+    DiurnalArrivals,
     FixedIntervalArrivals,
+    InhomogeneousPoissonArrivals,
+    MarkovModulatedArrivals,
+    MergedArrivals,
     PoissonArrivals,
+    RampArrivals,
+    RampRate,
+    RateFunction,
+    SinusoidRate,
     TraceArrivals,
     UniformArrivals,
 )
@@ -31,6 +40,15 @@ __all__ = [
     "UniformArrivals",
     "FixedIntervalArrivals",
     "TraceArrivals",
+    "RateFunction",
+    "ConstantRate",
+    "SinusoidRate",
+    "RampRate",
+    "InhomogeneousPoissonArrivals",
+    "DiurnalArrivals",
+    "RampArrivals",
+    "MarkovModulatedArrivals",
+    "MergedArrivals",
     "Metatask",
     "MetataskItem",
     "generate_metatask",

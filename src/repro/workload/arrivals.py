@@ -6,11 +6,31 @@ distribution" with a given mean (Section 5).  In queueing terms this is a
 Poisson process: exponentially distributed inter-arrival times.  We keep the
 paper's phrasing in :class:`PoissonArrivals` and also provide deterministic
 and trace-driven processes for tests, examples and ablations.
+
+Beyond the paper's homogeneous Poisson protocol, the scenario subsystem
+(:mod:`repro.scenarios`) needs *non-homogeneous* load: bursty, diurnal and
+ramping arrival patterns.  These are provided by
+
+* :class:`InhomogeneousPoissonArrivals` — an inhomogeneous Poisson process
+  with an arbitrary rate function λ(t), simulated by Lewis-Shedler thinning
+  (candidates from a homogeneous process at the majorant rate, accepted with
+  probability λ(t)/λ_max);
+* :class:`DiurnalArrivals` / :class:`RampArrivals` — thin wrappers around the
+  sinusoid and linear-ramp rate functions;
+* :class:`MarkovModulatedArrivals` — a two-state on-off modulated Poisson
+  process (bursts at a high rate, quiet periods at a low one);
+* :class:`MergedArrivals` — superposition of independent component
+  processes.
+
+Rate functions are small frozen dataclasses (:class:`ConstantRate`,
+:class:`SinusoidRate`, :class:`RampRate`) so processes stay picklable and
+their reprs readable in scenario listings.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -21,6 +41,15 @@ __all__ = [
     "UniformArrivals",
     "FixedIntervalArrivals",
     "TraceArrivals",
+    "RateFunction",
+    "ConstantRate",
+    "SinusoidRate",
+    "RampRate",
+    "InhomogeneousPoissonArrivals",
+    "DiurnalArrivals",
+    "RampArrivals",
+    "MarkovModulatedArrivals",
+    "MergedArrivals",
 ]
 
 
@@ -108,17 +137,37 @@ class FixedIntervalArrivals(ArrivalProcess):
 
 
 class TraceArrivals(ArrivalProcess):
-    """Arrivals replayed from an explicit list of dates."""
+    """Arrivals replayed from an explicit list of dates.
+
+    The trace must already be a valid arrival sequence: non-negative and
+    non-decreasing.  Silently re-sorting would hide recording bugs in the
+    trace (an out-of-order timestamp usually means the trace was assembled
+    wrong), so construction validates and reports the first offending index
+    instead.
+    """
 
     def __init__(self, dates: Iterable[float]):
-        self._dates = sorted(float(d) for d in dates)
-        if any(d < 0 for d in self._dates):
-            raise ValueError("arrival dates must be non-negative")
+        self._dates = [float(d) for d in dates]
+        for i, date in enumerate(self._dates):
+            if not np.isfinite(date):
+                raise ValueError(f"trace date #{i} is not finite: {date!r}")
+            if date < 0:
+                raise ValueError(
+                    f"arrival dates must be non-negative; trace date #{i} is {date!r}"
+                )
+            if i and date < self._dates[i - 1]:
+                raise ValueError(
+                    f"trace dates must be non-decreasing; date #{i} ({date!r}) comes "
+                    f"after #{i - 1} ({self._dates[i - 1]!r}) — sort or fix the trace"
+                )
 
     def dates(self, count: int, rng: Optional[np.random.Generator] = None) -> List[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
         if count > len(self._dates):
             raise ValueError(
-                f"trace holds {len(self._dates)} dates but {count} were requested"
+                f"trace holds {len(self._dates)} dates but {count} were requested; "
+                f"replaying a trace never invents arrivals — pass count <= {len(self._dates)}"
             )
         return list(self._dates[:count])
 
@@ -130,3 +179,323 @@ class TraceArrivals(ArrivalProcess):
 
     def __repr__(self) -> str:
         return f"TraceArrivals(n={len(self._dates)})"
+
+
+# --------------------------------------------------------------------------- #
+# rate functions (for inhomogeneous Poisson processes)
+# --------------------------------------------------------------------------- #
+class RateFunction(abc.ABC):
+    """Instantaneous arrival rate λ(t) of an inhomogeneous Poisson process.
+
+    Implementations are frozen dataclasses: picklable, hashable, and with a
+    repr that reads well in scenario listings.  :attr:`max_rate` must bound
+    λ(t) from above for every t ≥ 0 — it is the majorant rate the thinning
+    algorithm generates candidates at.
+    """
+
+    @abc.abstractmethod
+    def rate(self, t: float) -> float:
+        """Arrival rate (arrivals per second) at time ``t``."""
+
+    @property
+    @abc.abstractmethod
+    def max_rate(self) -> float:
+        """An upper bound of :meth:`rate` over t ≥ 0 (thinning majorant)."""
+
+    def __call__(self, t: float) -> float:
+        return self.rate(t)
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateFunction):
+    """λ(t) = rate_per_s: the homogeneous special case (thinning accepts all)."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be strictly positive")
+
+    def rate(self, t: float) -> float:
+        return self.rate_per_s
+
+    @property
+    def max_rate(self) -> float:
+        return self.rate_per_s
+
+
+@dataclass(frozen=True)
+class SinusoidRate(RateFunction):
+    """A diurnal-style sinusoid: λ(t) = base · (1 + amplitude · sin(2πt/period + phase)).
+
+    ``amplitude`` must stay in [0, 1) so the rate never becomes negative (an
+    amplitude of exactly 1 would create zero-rate instants, which the thinning
+    loop handles, but hour-long dead zones make experiments needlessly slow).
+    """
+
+    base_rate_per_s: float
+    amplitude: float
+    period_s: float
+    phase_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_per_s <= 0:
+            raise ValueError("base_rate_per_s must be strictly positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be strictly positive")
+
+    def rate(self, t: float) -> float:
+        return self.base_rate_per_s * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period_s + self.phase_rad)
+        )
+
+    @property
+    def max_rate(self) -> float:
+        return self.base_rate_per_s * (1.0 + self.amplitude)
+
+
+@dataclass(frozen=True)
+class RampRate(RateFunction):
+    """Linear ramp from ``start`` to ``end`` over ``duration_s``, then flat."""
+
+    start_rate_per_s: float
+    end_rate_per_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_rate_per_s <= 0 or self.end_rate_per_s <= 0:
+            raise ValueError("ramp rates must be strictly positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be strictly positive")
+
+    def rate(self, t: float) -> float:
+        if t >= self.duration_s:
+            return self.end_rate_per_s
+        fraction = t / self.duration_s
+        return self.start_rate_per_s + fraction * (self.end_rate_per_s - self.start_rate_per_s)
+
+    @property
+    def max_rate(self) -> float:
+        return max(self.start_rate_per_s, self.end_rate_per_s)
+
+
+# --------------------------------------------------------------------------- #
+# non-homogeneous processes
+# --------------------------------------------------------------------------- #
+class InhomogeneousPoissonArrivals(ArrivalProcess):
+    """Inhomogeneous Poisson process with rate λ(t), simulated by thinning.
+
+    Lewis-Shedler thinning: candidate points are drawn from a homogeneous
+    Poisson process at the majorant rate λ_max and each candidate at time t is
+    accepted with probability λ(t)/λ_max.  The accepted points form an exact
+    inhomogeneous Poisson process with intensity λ — no discretisation of the
+    rate function is involved, so arbitrarily sharp profiles are simulated
+    faithfully at O(λ_max/λ̄) candidates per arrival.
+
+    Parameters
+    ----------
+    rate_fn:
+        The intensity λ(t) (a :class:`RateFunction`).
+    max_rate:
+        Optional explicit majorant; defaults to ``rate_fn.max_rate``.  A
+        candidate whose λ(t) exceeds the majorant is a programming error in
+        the rate function and raises immediately (silently clamping would
+        distort the distribution).
+    """
+
+    #: Upper bound of thinning candidates per requested arrival before the
+    #: generator gives up (guards against near-zero-rate dead zones).
+    MAX_CANDIDATES_PER_ARRIVAL = 10_000
+
+    def __init__(self, rate_fn: RateFunction, max_rate: Optional[float] = None):
+        self.rate_fn = rate_fn
+        self.max_rate = float(max_rate) if max_rate is not None else float(rate_fn.max_rate)
+        if self.max_rate <= 0:
+            raise ValueError("max_rate must be strictly positive")
+
+    def dates(self, count: int, rng: Optional[np.random.Generator] = None) -> List[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        dates: List[float] = []
+        t = 0.0
+        candidates = 0
+        budget = self.MAX_CANDIDATES_PER_ARRIVAL * max(count, 1)
+        while len(dates) < count:
+            t += rng.exponential(1.0 / self.max_rate)
+            rate = float(self.rate_fn.rate(t))
+            if rate > self.max_rate * (1.0 + 1e-9):
+                raise ValueError(
+                    f"rate function returned {rate!r} at t={t!r}, above the thinning "
+                    f"majorant {self.max_rate!r}; fix the rate function's max_rate"
+                )
+            if rate < 0:
+                raise ValueError(f"rate function returned a negative rate at t={t!r}")
+            if rng.uniform() * self.max_rate <= rate:
+                dates.append(t)
+            candidates += 1
+            if candidates > budget:
+                raise ValueError(
+                    f"thinning generated {candidates} candidates for only "
+                    f"{len(dates)}/{count} accepted arrivals; the rate function is "
+                    "nearly zero over a long stretch — raise its floor or lower max_rate"
+                )
+        return dates
+
+    def __repr__(self) -> str:
+        return f"InhomogeneousPoissonArrivals(rate_fn={self.rate_fn!r}, max_rate={self.max_rate:g})"
+
+
+class DiurnalArrivals(InhomogeneousPoissonArrivals):
+    """Sinusoidal day/night load: a convenience wrapper over :class:`SinusoidRate`.
+
+    ``mean_interarrival`` is the *average* gap (as in :class:`PoissonArrivals`);
+    the instantaneous rate swings by ±``amplitude`` around 1/mean with the
+    given period (86 400 s for a literal day).
+    """
+
+    def __init__(
+        self,
+        mean_interarrival: float,
+        amplitude: float = 0.8,
+        period_s: float = 86_400.0,
+        phase_rad: float = 0.0,
+    ):
+        if mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be strictly positive")
+        self.mean_interarrival = float(mean_interarrival)
+        super().__init__(
+            SinusoidRate(
+                base_rate_per_s=1.0 / mean_interarrival,
+                amplitude=amplitude,
+                period_s=period_s,
+                phase_rad=phase_rad,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalArrivals(mean_interarrival={self.mean_interarrival:g}, "
+            f"amplitude={self.rate_fn.amplitude:g}, period_s={self.rate_fn.period_s:g})"
+        )
+
+
+class RampArrivals(InhomogeneousPoissonArrivals):
+    """Load ramping from one mean inter-arrival gap to another over a window."""
+
+    def __init__(self, start_interarrival: float, end_interarrival: float, duration_s: float):
+        if start_interarrival <= 0 or end_interarrival <= 0:
+            raise ValueError("inter-arrival means must be strictly positive")
+        self.start_interarrival = float(start_interarrival)
+        self.end_interarrival = float(end_interarrival)
+        super().__init__(
+            RampRate(
+                start_rate_per_s=1.0 / start_interarrival,
+                end_rate_per_s=1.0 / end_interarrival,
+                duration_s=duration_s,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RampArrivals(start_interarrival={self.start_interarrival:g}, "
+            f"end_interarrival={self.end_interarrival:g}, "
+            f"duration_s={self.rate_fn.duration_s:g})"
+        )
+
+
+class MarkovModulatedArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty on-off load).
+
+    The modulating chain alternates between a *burst* state (arrivals at
+    ``1/burst_interarrival``) and a *quiet* state (``1/quiet_interarrival``);
+    sojourn times in each state are exponential with the given means.  This is
+    the classic MMPP(2) traffic model: overdispersed, strongly autocorrelated
+    arrivals that stress schedulers far harder than a homogeneous stream of
+    the same average rate.
+
+    A ``quiet_interarrival`` of ``math.inf`` is allowed (silent quiet
+    periods): arrivals then only occur during bursts.
+    """
+
+    def __init__(
+        self,
+        burst_interarrival: float,
+        quiet_interarrival: float,
+        mean_burst_s: float,
+        mean_quiet_s: float,
+        start_in_burst: bool = True,
+    ):
+        if burst_interarrival <= 0:
+            raise ValueError("burst_interarrival must be strictly positive")
+        if quiet_interarrival <= 0:
+            raise ValueError("quiet_interarrival must be strictly positive (inf allowed)")
+        if mean_burst_s <= 0 or mean_quiet_s <= 0:
+            raise ValueError("state sojourn means must be strictly positive")
+        self.burst_interarrival = float(burst_interarrival)
+        self.quiet_interarrival = float(quiet_interarrival)
+        self.mean_burst_s = float(mean_burst_s)
+        self.mean_quiet_s = float(mean_quiet_s)
+        self.start_in_burst = bool(start_in_burst)
+
+    def dates(self, count: int, rng: Optional[np.random.Generator] = None) -> List[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        dates: List[float] = []
+        t = 0.0
+        in_burst = self.start_in_burst
+        while len(dates) < count:
+            sojourn = rng.exponential(self.mean_burst_s if in_burst else self.mean_quiet_s)
+            state_end = t + sojourn
+            interarrival = self.burst_interarrival if in_burst else self.quiet_interarrival
+            if np.isfinite(interarrival):
+                while len(dates) < count:
+                    gap = rng.exponential(interarrival)
+                    if t + gap >= state_end:
+                        break
+                    t += gap
+                    dates.append(t)
+            t = state_end
+            in_burst = not in_burst
+        return dates
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovModulatedArrivals(burst={self.burst_interarrival:g}, "
+            f"quiet={self.quiet_interarrival:g}, mean_burst_s={self.mean_burst_s:g}, "
+            f"mean_quiet_s={self.mean_quiet_s:g})"
+        )
+
+
+class MergedArrivals(ArrivalProcess):
+    """Superposition of independent component arrival processes.
+
+    The first ``count`` arrivals of the merged stream are a subset of the
+    union of the first ``count`` arrivals of every component (each component
+    contributes at most ``count`` of the earliest merged points), so drawing
+    ``count`` dates from each component, merging and truncating is exact.
+
+    Components draw from the same generator in declaration order, so a seeded
+    run is reproducible.
+    """
+
+    def __init__(self, processes: Sequence[ArrivalProcess]):
+        if not processes:
+            raise ValueError("MergedArrivals needs at least one component process")
+        self.processes = tuple(processes)
+
+    def dates(self, count: int, rng: Optional[np.random.Generator] = None) -> List[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        merged: List[float] = []
+        for process in self.processes:
+            merged.extend(process.dates(count, rng))
+        merged.sort()
+        return merged[:count]
+
+    def __repr__(self) -> str:
+        return f"MergedArrivals(components={list(self.processes)!r})"

@@ -33,9 +33,29 @@ __all__ = [
     "first_set_platform",
     "second_set_platform",
     "synthetic_platform",
+    "synthetic_agent_and_client",
     "matmul_metatask",
     "wastecpu_metatask",
 ]
+
+
+def synthetic_agent_and_client() -> Dict[str, MachineSpec]:
+    """The stock synthetic agent/client pair (``agent-0`` / ``client-0``).
+
+    Shared by :func:`synthetic_platform` and the scenario platform generators
+    (:mod:`repro.scenarios.platforms`), so every generated platform carries
+    the same middleware-side hardware.
+    """
+    return {
+        "agent-0": MachineSpec(
+            name="agent-0", processor="synthetic", speed_mhz=1000.0,
+            memory_mb=1024.0, swap_mb=1024.0, role=MachineRole.AGENT,
+        ),
+        "client-0": MachineSpec(
+            name="client-0", processor="synthetic", speed_mhz=1000.0,
+            memory_mb=1024.0, swap_mb=1024.0, role=MachineRole.CLIENT,
+        ),
+    }
 
 #: Servers of the first experiment set (matrix multiplications).
 FIRST_SET_SERVERS: Tuple[str, ...] = ("chamagne", "pulney", "cabestan", "artimon")
@@ -102,14 +122,7 @@ def synthetic_platform(
             swap_mb=swap_mb,
             role=MachineRole.SERVER,
         )
-    machines["agent-0"] = MachineSpec(
-        name="agent-0", processor="synthetic", speed_mhz=1000.0,
-        memory_mb=1024.0, swap_mb=1024.0, role=MachineRole.AGENT,
-    )
-    machines["client-0"] = MachineSpec(
-        name="client-0", processor="synthetic", speed_mhz=1000.0,
-        memory_mb=1024.0, swap_mb=1024.0, role=MachineRole.CLIENT,
-    )
+    machines.update(synthetic_agent_and_client())
     return PlatformSpec(machines=machines)
 
 

@@ -1,0 +1,286 @@
+"""Tests of the scenario subsystem: registry, runs, sweeps, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig, ExperimentScale
+from repro.metrics.comparison import cross_scenario_ranking, rank_heuristics
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    build_scenario_metatasks,
+    get_scenario,
+    homogeneous_farm,
+    power_law_farm,
+    replicated_paper_farm,
+    run_scenario,
+    scenario_names,
+    scenario_seed_offset,
+    sweep_scenarios,
+)
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.testbed import first_set_platform
+
+
+def tiny_config(task_count: int = 16, metatask_count: int = 1, seed: int = 7) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=ExperimentScale(
+            name="tiny", task_count=task_count, metatask_count=metatask_count, repetitions=1
+        ),
+        seed=seed,
+    )
+
+
+class TestPlatformGenerators:
+    def test_homogeneous_farm_shape(self):
+        platform = homogeneous_farm(6, speed_mhz=900.0)
+        assert len(platform.server_names()) == 6
+        speeds = {platform.machine(n).speed_mhz for n in platform.server_names()}
+        assert speeds == {900.0}
+        assert platform.agent_name == "agent-0"
+
+    def test_power_law_farm_is_heterogeneous_and_deterministic(self):
+        a = power_law_farm(8, min_speed_mhz=400.0, alpha=1.5)
+        b = power_law_farm(8, min_speed_mhz=400.0, alpha=1.5)
+        speeds_a = [a.machine(n).speed_mhz for n in a.server_names()]
+        speeds_b = [b.machine(n).speed_mhz for n in b.server_names()]
+        assert speeds_a == speeds_b  # no RNG: quantile-based
+        assert speeds_a == sorted(speeds_a)
+        assert speeds_a[-1] > 3.0 * speeds_a[0]  # heavy tail
+
+    def test_replicated_paper_farm_cycles_profiles(self):
+        platform = replicated_paper_farm(8)
+        names = platform.server_names()
+        assert len(names) == 8
+        assert names[0].startswith("chamagne-")
+        assert names[6].startswith("chamagne-")  # 6 profiles, cycled
+        # replica hardware matches the Table 2 source machine
+        from repro.platform.spec import PAPER_MACHINES
+
+        assert platform.machine(names[0]).speed_mhz == PAPER_MACHINES["chamagne"].speed_mhz
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            homogeneous_farm(0)
+        with pytest.raises(ValueError):
+            power_law_farm(4, alpha=0.0)
+        with pytest.raises(ValueError):
+            replicated_paper_farm(4, profiles=("not-a-machine",))
+
+
+class TestRegistry:
+    def test_registry_has_the_promised_scenarios(self):
+        names = scenario_names()
+        assert len(names) >= 5
+        for required in (
+            "paper-low-rate",
+            "burst-storm",
+            "diurnal-week",
+            "hetero-farm-16",
+            "flaky-servers",
+        ):
+            assert required in names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            get_scenario("definitely-not-registered")
+
+    def test_scenario_validation(self):
+        with pytest.raises(ExperimentError, match="problem family"):
+            Scenario(
+                name="x", description="d", regime="r",
+                platform_factory=first_set_platform, problem_family="nope",
+                arrivals=lambda scenario, config: PoissonArrivals(20.0), mean_interarrival_s=20.0,
+            )
+        with pytest.raises(ExperimentError, match="reference"):
+            Scenario(
+                name="x", description="d", regime="r",
+                platform_factory=first_set_platform, problem_family="matmul",
+                arrivals=lambda scenario, config: PoissonArrivals(20.0), mean_interarrival_s=20.0,
+                heuristics=("hmct",), reference="mct",
+            )
+
+    def test_seed_offsets_are_scenario_specific_and_spaced(self):
+        offsets = {name: scenario_seed_offset(name) for name in scenario_names()}
+        assert len(set(offsets.values())) == len(offsets)
+        assert all(offset % 1_000_000 == 0 for offset in offsets.values())
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_every_registered_scenario_runs_at_smoke_scale(self, name):
+        table = run_scenario(name, config=tiny_config())
+        scenario = get_scenario(name)
+        assert set(table.columns) == set(scenario.heuristics)
+        for heuristic in scenario.heuristics:
+            assert table.value(heuristic, "completed tasks") > 0
+        assert any(name in note for note in table.notes)
+
+    def test_metatask_draws_are_independent_of_metatask_count(self):
+        scenario = get_scenario("burst-storm")
+        one = build_scenario_metatasks(scenario, tiny_config(metatask_count=1))
+        two = build_scenario_metatasks(scenario, tiny_config(metatask_count=2))
+        assert [i.arrival for i in one[0].items] == [i.arrival for i in two[0].items]
+
+    def test_flaky_servers_scenario_actually_loses_or_retries_tasks(self):
+        # With the outage hitting the fastest server mid-run, at least one
+        # heuristic must record failed attempts referencing the outage.
+        table = run_scenario("flaky-servers", config=tiny_config(task_count=30))
+        reasons = [
+            attempt.failure_reason
+            for outcome in table.outcomes.values()
+            for run in outcome.runs
+            for task in run.tasks
+            for attempt in task.attempts
+            if attempt.failure_reason
+        ]
+        assert any("outage" in reason for reason in reasons)
+
+
+class TestDeterminism:
+    def test_run_scenario_is_byte_identical_across_jobs(self):
+        config = tiny_config(task_count=14)
+        serial = run_scenario("burst-storm", config=config, jobs=1)
+        parallel = run_scenario("burst-storm", config=config, jobs=4)
+        assert serial.render() == parallel.render()
+        assert serial.columns == parallel.columns
+
+    def test_sweep_is_byte_identical_across_jobs_and_subset_stable(self):
+        config = tiny_config(task_count=12)
+        names = ["paper-low-rate", "flaky-servers"]
+        serial = sweep_scenarios(names, config=config, jobs=1)
+        parallel = sweep_scenarios(names, config=config, jobs=2)
+        assert serial.render() == parallel.render()
+        # sweeping a subset reproduces the full sweep's corresponding table
+        solo = sweep_scenarios(["flaky-servers"], config=config, jobs=1)
+        assert solo.tables["flaky-servers"].columns == serial.tables["flaky-servers"].columns
+
+
+class TestSweep:
+    def test_sweep_produces_ranking_for_every_scenario(self):
+        config = tiny_config(task_count=10)
+        names = ["paper-low-rate", "homog-farm-8"]
+        sweep = sweep_scenarios(names, config=config)
+        assert set(sweep.tables) == set(names)
+        for heuristic, row in sweep.ranking.items():
+            assert set(row) == set(names)
+            assert all(cell.startswith("#") for cell in row.values())
+        best = sweep.best_per_scenario()
+        assert set(best) == set(names)
+        rendered = sweep.render()
+        assert "Cross-scenario ranking" in rendered
+        assert all(name in rendered for name in names)
+
+    def test_sweep_rejects_unknown_metric_before_running_anything(self):
+        with pytest.raises(ExperimentError, match="unknown ranking metric"):
+            sweep_scenarios(["paper-low-rate"], config=tiny_config(), metric="sum_flow")
+
+    def test_sweep_rejects_duplicates_and_empty(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            sweep_scenarios(["paper-low-rate", "paper-low-rate"], config=tiny_config())
+        with pytest.raises(ExperimentError, match="at least one"):
+            sweep_scenarios([], config=tiny_config())
+
+
+class TestScenarioCli:
+    def test_scenario_list(self, capsys):
+        from repro import cli
+
+        assert cli.main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_scenario_run_smoke(self, capsys):
+        from repro import cli
+
+        assert cli.main(["scenario", "run", "paper-low-rate", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "sumflow" in out
+        assert "paper-low-rate" in out
+
+    def test_scenario_sweep_smoke_markdown(self, capsys):
+        from repro import cli
+
+        assert (
+            cli.main(
+                [
+                    "scenario", "sweep",
+                    "--scenarios", "homog-farm-8",
+                    "--scale", "smoke",
+                    "--markdown",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Cross-scenario ranking" in out
+        assert "| metric |" in out
+
+    def test_scenario_sweep_accepts_spaces_around_commas(self, capsys):
+        from repro import cli
+
+        assert (
+            cli.main(
+                [
+                    "scenario", "sweep",
+                    "--scenarios", " homog-farm-8 , paper-low-rate ,",
+                    "--scale", "smoke",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "homog-farm-8" in out and "paper-low-rate" in out
+
+    def test_scenario_registry_entry_in_experiments_cli(self, capsys):
+        from repro import cli
+
+        assert cli.main(["--list"]) == 0
+        assert "scenario-sweep" in capsys.readouterr().out
+
+
+class TestRankingHelpers:
+    def test_rank_orders_by_completed_then_metric(self):
+        columns = {
+            "a": {"completed tasks": 100.0, "sumflow": 50.0},
+            "b": {"completed tasks": 100.0, "sumflow": 20.0},
+            "c": {"completed tasks": 90.0, "sumflow": 1.0},
+        }
+        assert rank_heuristics(columns, metric="sumflow") == ["b", "a", "c"]
+
+    def test_rank_breaks_exact_ties_by_name(self):
+        columns = {
+            "b": {"completed tasks": 10.0, "sumflow": 5.0},
+            "a": {"completed tasks": 10.0, "sumflow": 5.0},
+        }
+        assert rank_heuristics(columns) == ["a", "b"]
+
+    def test_rank_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            rank_heuristics({"a": {"completed tasks": 1.0}}, metric="sumflow")
+
+    def test_rank_missing_completed_tasks_raises(self):
+        with pytest.raises(KeyError, match="completed tasks"):
+            rank_heuristics({"a": {"sumflow": 5.0}, "b": {"sumflow": 3.0}})
+
+    def test_sweep_metrics_track_campaign_rows(self):
+        from repro.experiments.campaign import METRIC_ROW_TO_SUMMARY_FIELD
+        from repro.scenarios.sweep import _RANKABLE_METRICS
+
+        assert set(_RANKABLE_METRICS) == set(METRIC_ROW_TO_SUMMARY_FIELD) - {"completed tasks"}
+
+    def test_cross_scenario_ranking_shapes_and_missing_cells(self):
+        scenario_columns = {
+            "s1": {
+                "a": {"completed tasks": 10.0, "sumflow": 5.0},
+                "b": {"completed tasks": 10.0, "sumflow": 9.0},
+            },
+            "s2": {"a": {"completed tasks": 10.0, "sumflow": 3.0}},
+        }
+        table = cross_scenario_ranking(scenario_columns)
+        assert table["a"]["s1"].startswith("#1")
+        assert table["b"]["s1"].startswith("#2")
+        assert table["b"]["s2"] == "-"

@@ -1,0 +1,212 @@
+"""Property tests of the non-homogeneous arrival processes.
+
+Three invariant families from the scenario subsystem's contract:
+
+* every process returns exactly ``count`` non-decreasing, non-negative dates;
+* seeding is deterministic: the same generator seed replays the same dates;
+* thinning with a constant rate function is *distributionally* the
+  homogeneous Poisson process (the acceptance step fires with probability 1,
+  so only the draw structure differs) — checked on empirical moments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.arrivals import (
+    ConstantRate,
+    DiurnalArrivals,
+    InhomogeneousPoissonArrivals,
+    MarkovModulatedArrivals,
+    MergedArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    RampRate,
+    SinusoidRate,
+)
+
+#: One small instance of every new process, for the shared invariant tests.
+PROCESS_FACTORIES = {
+    "inhomogeneous-constant": lambda: InhomogeneousPoissonArrivals(ConstantRate(0.2)),
+    "inhomogeneous-sinusoid": lambda: InhomogeneousPoissonArrivals(
+        SinusoidRate(base_rate_per_s=0.2, amplitude=0.7, period_s=300.0)
+    ),
+    "diurnal": lambda: DiurnalArrivals(mean_interarrival=5.0, amplitude=0.8, period_s=600.0),
+    "ramp": lambda: RampArrivals(start_interarrival=20.0, end_interarrival=5.0, duration_s=400.0),
+    "mmpp": lambda: MarkovModulatedArrivals(
+        burst_interarrival=2.0, quiet_interarrival=30.0, mean_burst_s=60.0, mean_quiet_s=120.0
+    ),
+    "mmpp-silent-quiet": lambda: MarkovModulatedArrivals(
+        burst_interarrival=2.0,
+        quiet_interarrival=math.inf,
+        mean_burst_s=60.0,
+        mean_quiet_s=120.0,
+    ),
+    "merged": lambda: MergedArrivals(
+        [PoissonArrivals(10.0), RampArrivals(40.0, 10.0, 300.0)]
+    ),
+}
+
+
+class TestSharedInvariants:
+    @pytest.mark.parametrize("kind", sorted(PROCESS_FACTORIES))
+    @given(count=st.integers(min_value=0, max_value=120), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_dates_are_sorted_non_negative_and_counted(self, kind, count, seed):
+        process = PROCESS_FACTORIES[kind]()
+        dates = process.dates(count, np.random.default_rng(seed))
+        assert len(dates) == count
+        assert all(d >= 0 for d in dates)
+        assert dates == sorted(dates)
+
+    @pytest.mark.parametrize("kind", sorted(PROCESS_FACTORIES))
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_seeded_determinism(self, kind, seed):
+        process = PROCESS_FACTORIES[kind]()
+        first = process.dates(50, np.random.default_rng(seed))
+        second = process.dates(50, np.random.default_rng(seed))
+        assert first == second
+
+    @pytest.mark.parametrize("kind", sorted(PROCESS_FACTORIES))
+    def test_negative_count_raises(self, kind):
+        with pytest.raises(ValueError):
+            PROCESS_FACTORIES[kind]().dates(-1)
+
+
+class TestThinning:
+    def test_constant_rate_matches_poisson_distributionally(self):
+        """Thinning a constant λ is the homogeneous process: same moments.
+
+        With λ = λ_max every candidate is accepted, so the inter-arrival gaps
+        are iid Exp(λ) exactly as in :class:`PoissonArrivals`; the empirical
+        mean and standard deviation over 20 000 gaps must agree within a few
+        percent (fixed seeds keep the check deterministic).
+        """
+        n = 20_000
+        mean = 7.0
+        thinned = InhomogeneousPoissonArrivals(ConstantRate(1.0 / mean)).dates(
+            n, np.random.default_rng(1)
+        )
+        homogeneous = PoissonArrivals(mean).dates(n, np.random.default_rng(2))
+        gaps_thinned = np.diff([0.0] + thinned)
+        gaps_poisson = np.diff([0.0] + homogeneous)
+        assert np.mean(gaps_thinned) == pytest.approx(np.mean(gaps_poisson), rel=0.05)
+        assert np.std(gaps_thinned) == pytest.approx(np.std(gaps_poisson), rel=0.05)
+        # Exponential distribution: mean == std.
+        assert np.std(gaps_thinned) == pytest.approx(np.mean(gaps_thinned), rel=0.05)
+
+    def test_sinusoid_concentrates_arrivals_at_the_peak(self):
+        """More arrivals land in high-rate phases than in low-rate ones."""
+        period = 1000.0
+        process = InhomogeneousPoissonArrivals(
+            SinusoidRate(base_rate_per_s=0.1, amplitude=0.9, period_s=period)
+        )
+        dates = process.dates(4000, np.random.default_rng(3))
+        phases = (np.asarray(dates) % period) / period
+        # sin peaks at phase 0.25, troughs at 0.75.
+        near_peak = np.sum((phases > 0.0) & (phases < 0.5))
+        near_trough = np.sum((phases > 0.5) & (phases < 1.0))
+        assert near_peak > 2.0 * near_trough
+
+    def test_rate_above_majorant_is_an_error(self):
+        process = InhomogeneousPoissonArrivals(ConstantRate(1.0), max_rate=0.5)
+        with pytest.raises(ValueError, match="majorant"):
+            process.dates(10, np.random.default_rng(0))
+
+    def test_near_zero_rate_dead_zone_raises_instead_of_spinning(self):
+        class Vanishing(ConstantRate):
+            def rate(self, t: float) -> float:
+                return 0.0 if t > 1.0 else self.rate_per_s
+
+        process = InhomogeneousPoissonArrivals(Vanishing(1.0))
+        with pytest.raises(ValueError, match="nearly zero"):
+            process.dates(5, np.random.default_rng(0))
+
+
+class TestMarkovModulated:
+    def test_bursts_are_overdispersed_vs_poisson(self):
+        """MMPP gap variance exceeds an exponential's at the same mean."""
+        process = MarkovModulatedArrivals(
+            burst_interarrival=1.0,
+            quiet_interarrival=50.0,
+            mean_burst_s=60.0,
+            mean_quiet_s=120.0,
+        )
+        gaps = np.diff([0.0] + process.dates(5000, np.random.default_rng(5)))
+        cv = np.std(gaps) / np.mean(gaps)
+        assert cv > 1.2  # exponential gaps have cv == 1
+
+    def test_silent_quiet_state_produces_no_quiet_arrivals(self):
+        process = MarkovModulatedArrivals(
+            burst_interarrival=1.0,
+            quiet_interarrival=math.inf,
+            mean_burst_s=10.0,
+            mean_quiet_s=1000.0,
+            start_in_burst=True,
+        )
+        dates = process.dates(200, np.random.default_rng(6))
+        assert len(dates) == 200  # silent periods are skipped, not fatal
+
+
+class TestMerged:
+    def test_merged_is_sorted_prefix_of_component_union(self):
+        a = PoissonArrivals(10.0)
+        b = PoissonArrivals(20.0)
+        rng = np.random.default_rng(7)
+        merged = MergedArrivals([a, b]).dates(80, rng)
+        # Replay the component draws in declaration order with the same seed.
+        rng2 = np.random.default_rng(7)
+        union = sorted(a.dates(80, rng2) + b.dates(80, rng2))
+        assert merged == union[:80]
+
+    def test_merged_rate_adds_up(self):
+        """Superposing two Poisson(mean 20) streams halves the mean gap."""
+        merged = MergedArrivals([PoissonArrivals(20.0), PoissonArrivals(20.0)])
+        dates = merged.dates(10_000, np.random.default_rng(8))
+        assert np.mean(np.diff([0.0] + dates)) == pytest.approx(10.0, rel=0.05)
+
+    def test_empty_component_list_raises(self):
+        with pytest.raises(ValueError):
+            MergedArrivals([])
+
+
+class TestValidation:
+    def test_bad_rate_function_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ConstantRate(0.0)
+        with pytest.raises(ValueError):
+            SinusoidRate(base_rate_per_s=1.0, amplitude=1.0, period_s=100.0)
+        with pytest.raises(ValueError):
+            SinusoidRate(base_rate_per_s=1.0, amplitude=0.5, period_s=0.0)
+        with pytest.raises(ValueError):
+            RampRate(start_rate_per_s=1.0, end_rate_per_s=0.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            RampRate(start_rate_per_s=1.0, end_rate_per_s=1.0, duration_s=-1.0)
+
+    def test_bad_process_parameters_raise(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(mean_interarrival=0.0)
+        with pytest.raises(ValueError):
+            RampArrivals(start_interarrival=-1.0, end_interarrival=5.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedArrivals(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MarkovModulatedArrivals(1.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            InhomogeneousPoissonArrivals(ConstantRate(1.0), max_rate=0.0)
+
+    def test_processes_are_picklable(self):
+        import pickle
+
+        for factory in PROCESS_FACTORIES.values():
+            process = factory()
+            clone = pickle.loads(pickle.dumps(process))
+            assert clone.dates(10, np.random.default_rng(0)) == process.dates(
+                10, np.random.default_rng(0)
+            )

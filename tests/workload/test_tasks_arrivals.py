@@ -91,10 +91,28 @@ class TestArrivalProcesses:
         assert np.all(gaps <= 4.0 + 1e-9)
 
     def test_trace_replay_and_length_check(self):
-        trace = TraceArrivals([3.0, 1.0, 2.0])
+        trace = TraceArrivals([1.0, 2.0, 3.0])
         assert trace.dates(3) == [1.0, 2.0, 3.0]
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="trace holds 3 dates"):
             trace.dates(4)
+
+    def test_trace_rejects_unsorted_dates_instead_of_sorting(self):
+        with pytest.raises(ValueError, match="non-decreasing.*#1"):
+            TraceArrivals([3.0, 1.0, 2.0])
+
+    def test_trace_rejects_negative_and_non_finite_dates(self):
+        with pytest.raises(ValueError, match="non-negative.*#0"):
+            TraceArrivals([-1.0, 2.0])
+        with pytest.raises(ValueError, match="not finite"):
+            TraceArrivals([0.0, float("nan")])
+        with pytest.raises(ValueError, match="not finite"):
+            TraceArrivals([0.0, float("inf")])
+
+    def test_trace_accepts_ties_and_rejects_negative_count(self):
+        trace = TraceArrivals([0.0, 1.0, 1.0, 2.0])
+        assert trace.dates(4) == [0.0, 1.0, 1.0, 2.0]
+        with pytest.raises(ValueError, match="count"):
+            trace.dates(-1)
 
     @given(st.integers(min_value=1, max_value=200))
     @settings(max_examples=30, deadline=None)
