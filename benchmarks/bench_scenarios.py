@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig, ExperimentScale
-from repro.scenarios import run_scenario, sweep_scenarios
+from repro.scenarios import run_scenario, run_sweep
 from repro.workload.arrivals import (
     DiurnalArrivals,
     MarkovModulatedArrivals,
@@ -85,9 +85,9 @@ def bench_scenario_sweep_two_regimes(benchmark):
     names = ["paper-low-rate", "flaky-servers"]
 
     def run():
-        return sweep_scenarios(names, config=_config(), jobs=1)
+        return run_sweep(names, config=_config(), jobs=1)
 
     sweep = benchmark.pedantic(run, rounds=1, iterations=1)
-    parallel = sweep_scenarios(names, config=_config(), jobs=2)
+    parallel = run_sweep(names, config=_config(), jobs=2)
     assert sweep.render() == parallel.render()
     benchmark.extra_info["best_per_scenario"] = sweep.best_per_scenario()

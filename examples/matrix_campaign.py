@@ -24,12 +24,13 @@ import argparse
 
 import numpy as np
 
+from repro import api
 from repro.experiments import ExperimentConfig, ExperimentScale, run_campaign
 from repro.metrics import render_table
 from repro.workload.testbed import first_set_platform, matmul_metatask
 
 
-def run_rate(task_count: int, rate: float, seed: int, jobs: int) -> None:
+def run_rate(task_count: int, rate: float, seed: int, jobs: int):
     platform = first_set_platform()
     metatask = matmul_metatask(
         count=task_count, mean_interarrival=rate, rng=np.random.default_rng(seed),
@@ -41,7 +42,7 @@ def run_rate(task_count: int, rate: float, seed: int, jobs: int) -> None:
         jobs=jobs,
     )
     table = run_campaign(
-        "matrix-campaign", f"matrix campaign @ {rate:g} s", platform, [metatask], config
+        f"matrix-{rate:g}s", f"matrix campaign @ {rate:g} s", platform, [metatask], config
     )
 
     columns = {}
@@ -58,6 +59,7 @@ def run_rate(task_count: int, rate: float, seed: int, jobs: int) -> None:
     )
     print(render_table(columns, title=title))
     print()
+    return table
 
 
 def main() -> None:
@@ -65,12 +67,20 @@ def main() -> None:
     parser.add_argument("--tasks", type=int, default=150, help="tasks per metatask (paper: 500)")
     parser.add_argument("--seed", type=int, default=2003)
     parser.add_argument("--jobs", type=int, default=1, help="campaign worker processes")
+    parser.add_argument(
+        "--save",
+        metavar="FILE",
+        help="save both rates' run records to FILE (.jsonl or .csv) via repro.api",
+    )
     args = parser.parse_args()
 
     print("--- low arrival rate (Table 5 regime) ---")
-    run_rate(args.tasks, 20.0, args.seed, args.jobs)
+    low = run_rate(args.tasks, 20.0, args.seed, args.jobs)
     print("--- high arrival rate (Table 6 regime: memory pressure) ---")
-    run_rate(args.tasks, 15.0, args.seed, args.jobs)
+    high = run_rate(args.tasks, 15.0, args.seed, args.jobs)
+    if args.save:
+        path = api.save_results(low.result_set.merge(high.result_set), args.save)
+        print(f"saved records to {path} — inspect with 'repro results show {path}'")
     print(
         "Expected shape: at the high rate MCT/HMCT overload the fastest servers\n"
         "(collapses > 0, tasks lost) while MP and MSF complete every task."

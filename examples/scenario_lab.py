@@ -22,7 +22,7 @@ from repro.experiments import ExperimentConfig, ExperimentScale
 from repro.metrics.comparison import cross_scenario_ranking
 from repro.metrics.report import render_table
 from repro.platform.faults import FaultSchedule, SlowdownWindow
-from repro.scenarios import Scenario, power_law_farm, run_scenario, sweep_scenarios
+from repro.scenarios import Scenario, power_law_farm, run_scenario, run_sweep
 from repro.workload.arrivals import RampArrivals
 
 
@@ -74,7 +74,7 @@ def main() -> None:
     print(custom_table.render())
     print()
 
-    stock = sweep_scenarios(["burst-storm", "flaky-servers"], config=config)
+    stock = run_sweep(["burst-storm", "flaky-servers"], config=config)
     columns = {name: table.columns for name, table in stock.tables.items()}
     columns["crunch-time"] = custom_table.columns
     ranking = cross_scenario_ranking(columns, metric="sumflow")

@@ -10,7 +10,12 @@ The library is organised in five layers (see DESIGN.md):
   the perturbation and the heuristics (MCT, HMCT, MP, MSF, extensions);
 * :mod:`repro.workload` — Tables 2–4 testbeds, problems and metatasks;
 * :mod:`repro.metrics` / :mod:`repro.experiments` — Section 3 metrics and the
-  harness reproducing every table of the evaluation.
+  harness reproducing every table of the evaluation;
+* :mod:`repro.results` / :mod:`repro.api` — the unified results layer:
+  provenance-stamped run records, the columnar queryable
+  :class:`~repro.results.ResultSet` with JSONL/CSV persistence, and the
+  stable ``api.run`` / ``api.sweep`` / ``api.load_results`` /
+  ``api.compare`` facade.
 
 Quickstart::
 
@@ -39,6 +44,7 @@ from .core import (
 )
 from .errors import ReproError
 from .metrics import summarize, tasks_finishing_sooner
+from .results import ResultSet, RunRecord
 from .platform import (
     Agent,
     ComputeServer,
@@ -59,8 +65,9 @@ from .workload import (
     Task,
     generate_metatask,
 )
+from . import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -101,4 +108,8 @@ __all__ = [
     # metrics
     "summarize",
     "tasks_finishing_sooner",
+    # results API
+    "api",
+    "ResultSet",
+    "RunRecord",
 ]

@@ -1,0 +1,177 @@
+"""The stable programmatic facade of the reproduction.
+
+Four entry points cover the whole results lifecycle — everything else in the
+library is implementation detail that may move between minor versions:
+
+* :func:`run` — run any registered experiment (``table5`` ... ``table8``,
+  the validation, the ablations, scenario sweeps) at any scale / seed /
+  parallelism and get its result object back; table experiments carry their
+  full provenance-stamped record set on ``result.result_set``.
+* :func:`sweep` — run a heuristic × scenario grid and get the per-scenario
+  tables, the cross-scenario ranking and one combined record set.
+* :func:`load_results` / :func:`save_results` — versioned JSONL / CSV
+  persistence of record sets; saved files are byte-identical for identical
+  records whatever the execution order or ``jobs`` level.
+* :func:`compare` — structural diff of two result sets (or result files):
+  the programmatic form of ``repro results diff``.
+
+Quickstart::
+
+    from repro import api
+
+    table = api.run("table5", scale="smoke", jobs=4)
+    print(table.render())
+    api.save_results(table, "table5.jsonl")
+
+    loaded = api.load_results("table5.jsonl")
+    print(loaded.pivot().render())          # identical table, from records
+    assert api.compare(table.result_set, loaded).identical
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Any, Optional, Sequence, Union
+
+from .errors import ExperimentError, ResultsError
+from .experiments.config import SCALES, ExperimentConfig, ExperimentScale
+from .experiments.registry import run_experiment
+from .results import CampaignObserver, ResultDiff, ResultSet, diff_result_sets
+
+__all__ = ["run", "sweep", "load_results", "save_results", "compare"]
+
+#: Things accepted wherever a result set is expected: the set itself, a
+#: result object carrying one, or a path to a saved file.
+ResultsLike = Union[ResultSet, str, "os.PathLike[str]", Any]
+
+
+def _resolve_config(
+    config: Optional[ExperimentConfig],
+    scale: Optional[Union[str, ExperimentScale]],
+    seed: Optional[int],
+    jobs: Optional[int],
+    observers: Sequence[CampaignObserver],
+) -> ExperimentConfig:
+    """Fold the keyword overrides into one :class:`ExperimentConfig`."""
+    resolved = config if config is not None else ExperimentConfig()
+    if scale is not None:
+        if isinstance(scale, str):
+            try:
+                scale = SCALES[scale]
+            except KeyError:
+                raise ExperimentError(
+                    f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+                ) from None
+        resolved = resolved.with_scale(scale)
+    if seed is not None:
+        resolved = resolved.with_seed(seed)
+    if jobs is not None:
+        resolved = resolved.with_jobs(jobs)
+    if observers:
+        resolved = replace(
+            resolved, observers=tuple(resolved.observers) + tuple(observers)
+        )
+    return resolved
+
+
+def run(
+    experiment: str,
+    *,
+    config: Optional[ExperimentConfig] = None,
+    scale: Optional[Union[str, ExperimentScale]] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    observers: Sequence[CampaignObserver] = (),
+):
+    """Run one registered experiment and return its result object.
+
+    ``experiment`` is a registry id (``repro --list`` /
+    :func:`repro.experiments.experiment_ids`).  ``scale`` (a name from
+    ``"full"`` / ``"bench"`` / ``"smoke"`` or an
+    :class:`~repro.experiments.ExperimentScale`), ``seed`` and ``jobs``
+    override the corresponding fields of ``config``; ``observers`` stream
+    every cell completion.  Table experiments return a
+    :class:`~repro.experiments.runner.TableResult` whose ``result_set``
+    holds one :class:`~repro.results.RunRecord` per run — the table itself
+    is a :meth:`~repro.results.ResultSet.pivot` view over those records.
+
+    Determinism contract: the records (hence the table, hence a saved
+    results file) are identical for every ``jobs`` value.
+    """
+    resolved = _resolve_config(config, scale, seed, jobs, observers)
+    return run_experiment(experiment, resolved)
+
+
+def sweep(
+    scenarios: Optional[Sequence[str]] = None,
+    *,
+    config: Optional[ExperimentConfig] = None,
+    scale: Optional[Union[str, ExperimentScale]] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    metric: str = "sumflow",
+    observers: Sequence[CampaignObserver] = (),
+):
+    """Run a scenario sweep and return its
+    :class:`~repro.scenarios.sweep.ScenarioSweepResult`.
+
+    ``scenarios`` defaults to every registered scenario; ``metric`` is the
+    ranking tie-break (lower is better).  The returned object carries every
+    scenario's records in one combined ``result_set`` ready for
+    :func:`save_results`.
+    """
+    from .scenarios import run_sweep  # deferred: keeps `import repro.api` light
+
+    resolved = _resolve_config(config, scale, seed, jobs, observers)
+    return run_sweep(names=scenarios, config=resolved, metric=metric)
+
+
+def load_results(path: Union[str, "os.PathLike[str]"]) -> ResultSet:
+    """Load a result set saved by :func:`save_results` / ``ResultSet.save``.
+
+    The format is inferred from the extension (``.jsonl`` / ``.json`` /
+    ``.csv``); files written by a future schema version are rejected with a
+    :class:`~repro.errors.ResultsError`.
+    """
+    return ResultSet.load(path)
+
+
+def save_results(results: ResultsLike, path: Union[str, "os.PathLike[str]"]) -> str:
+    """Save a result set (or any result object carrying one) to ``path``.
+
+    Accepts a :class:`~repro.results.ResultSet`, a
+    :class:`~repro.experiments.runner.TableResult` or a
+    :class:`~repro.scenarios.sweep.ScenarioSweepResult`; the extension picks
+    the format (see :func:`load_results`).  Returns the path written.
+    """
+    result_set = _as_result_set(results, allow_paths=False)
+    return result_set.save(path)
+
+
+def compare(a: ResultsLike, b: ResultsLike, *, rel_tol: float = 0.0) -> ResultDiff:
+    """Diff two result sets, result objects or saved result files.
+
+    Records are paired on ``(experiment_id, heuristic, metatask_index,
+    repetition)``; every metric and provenance difference is reported.
+    ``rel_tol`` relaxes metric comparisons (0.0 = exact).  Use
+    ``compare(...).identical`` as the determinism check, or ``repro results
+    diff`` from the shell.
+    """
+    return diff_result_sets(
+        _as_result_set(a), _as_result_set(b), rel_tol=rel_tol
+    )
+
+
+def _as_result_set(value: ResultsLike, allow_paths: bool = True) -> ResultSet:
+    if isinstance(value, ResultSet):
+        return value
+    carried = getattr(value, "result_set", None)
+    if isinstance(carried, ResultSet):
+        return carried
+    if allow_paths and isinstance(value, (str, os.PathLike)):
+        return load_results(value)
+    raise ResultsError(
+        f"cannot interpret {value!r} as a result set (expected a ResultSet, "
+        "a result object carrying one, or a saved results file path)"
+    )

@@ -5,6 +5,7 @@ registered experiment and prints the reproduced table::
 
     repro --list
     repro table5 --scale smoke
+    repro table5 --scale smoke --save-results table5.jsonl
     repro table1
     repro ablation-arrival-rate-sweep
 
@@ -13,14 +14,20 @@ The scenario subsystem has its own subcommand family::
     repro scenario list
     repro scenario run burst-storm --scale smoke
     repro scenario run hetero-farm-16 --jobs 4
-    repro scenario sweep --jobs 4
+    repro scenario sweep --jobs 4 --save-results sweep.jsonl
     repro scenario sweep --scenarios burst-storm,flaky-servers --markdown
+
+Saved result files (the unified results API, :mod:`repro.api`) are inspected
+and compared with the ``results`` family::
+
+    repro results show sweep.jsonl
+    repro results diff before.jsonl after.jsonl
 
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
 seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
 results are byte-identical for any value because run seeds derive from cell
-coordinates.
+coordinates.  ``--progress`` streams one line per completed cell to stderr.
 """
 
 from __future__ import annotations
@@ -30,24 +37,21 @@ import sys
 from typing import List, Optional
 
 from .experiments import (
-    BENCH_SCALE,
-    FULL_SCALE,
-    SMOKE_SCALE,
+    SCALES,
     ExperimentConfig,
     experiment_ids,
     get_experiment,
     run_experiment,
 )
+from .results import ProgressObserver
 
-__all__ = ["build_parser", "build_scenario_parser", "main"]
-
-_SCALES = {"full": FULL_SCALE, "bench": BENCH_SCALE, "smoke": SMOKE_SCALE}
+__all__ = ["build_parser", "build_scenario_parser", "build_results_parser", "main"]
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
-        choices=sorted(_SCALES),
+        choices=sorted(SCALES),
         default="full",
         help="experiment size: full (paper, 500 tasks), bench, or smoke (default: full)",
     )
@@ -63,6 +67,17 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown instead of plain text"
     )
+    parser.add_argument(
+        "--save-results",
+        metavar="FILE",
+        help="save the run's records to FILE (.jsonl or .csv); inspect them "
+        "later with 'repro results show'",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream one line per completed campaign cell to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,7 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the experiments of 'New Dynamic Heuristics in the "
         "Client-Agent-Server Model' (Caniou & Jeannot, HCW'03).  "
-        "Use 'repro scenario ...' for the scenario subsystem.",
+        "Use 'repro scenario ...' for the scenario subsystem and "
+        "'repro results ...' for saved result files.",
     )
     parser.add_argument(
         "experiment",
@@ -114,10 +130,54 @@ def build_scenario_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_results_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro results`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro results",
+        description="Inspect and compare saved result files (see repro.api).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show_parser = commands.add_parser(
+        "show", help="load a results file and render its table(s) from the records"
+    )
+    show_parser.add_argument("file", help="a .jsonl or .csv file saved with --save-results")
+    show_parser.add_argument(
+        "--markdown", action="store_true", help="print tables as Markdown instead of plain text"
+    )
+
+    diff_parser = commands.add_parser(
+        "diff", help="compare two results files record by record (exit 1 on differences)"
+    )
+    diff_parser.add_argument("file_a", help="the 'before' results file")
+    diff_parser.add_argument("file_b", help="the 'after' results file")
+    diff_parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="relative tolerance on metric values (default: 0.0 = exact)",
+    )
+    return parser
+
+
+#: Extensions the persistence layer can write (kept in sync with
+#: ``ResultSet.save``; validated *before* a potentially hours-long run).
+_RESULT_EXTENSIONS = (".jsonl", ".json", ".csv")
+
+
 def _config_from(args: argparse.Namespace, parser: argparse.ArgumentParser) -> ExperimentConfig:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    return ExperimentConfig(scale=_SCALES[args.scale], seed=args.seed, jobs=args.jobs)
+    save_path = getattr(args, "save_results", None)
+    if save_path and not save_path.lower().endswith(_RESULT_EXTENSIONS):
+        parser.error(
+            f"--save-results needs a {'/'.join(_RESULT_EXTENSIONS)} extension, got {save_path!r}"
+        )
+    observers = (ProgressObserver(),) if args.progress else ()
+    return ExperimentConfig(
+        scale=SCALES[args.scale], seed=args.seed, jobs=args.jobs, observers=observers
+    )
 
 
 def _print_result(result, markdown: bool) -> None:
@@ -129,6 +189,25 @@ def _print_result(result, markdown: bool) -> None:
         print(result)
 
 
+def _maybe_save(result, args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    if not getattr(args, "save_results", None):
+        return
+    from . import api
+    from .errors import ResultsError
+
+    if getattr(result, "result_set", None) is None:
+        parser.error(
+            "this command's result carries no record set; --save-results only "
+            "applies to table experiments and scenario runs/sweeps"
+        )
+    try:
+        path = api.save_results(result, args.save_results)
+    except (ResultsError, OSError) as exc:
+        # The table was already printed above — fail cleanly, don't traceback.
+        parser.error(f"could not save results: {exc}")
+    print(f"saved {len(result.result_set)} record(s) to {path}", file=sys.stderr)
+
+
 def _list_experiments() -> str:
     lines = ["available experiments:"]
     for experiment_id in experiment_ids():
@@ -136,6 +215,7 @@ def _list_experiments() -> str:
         lines.append(f"  {experiment_id:<32} {entry.paper_artefact:<28} {entry.description}")
     lines.append("")
     lines.append("scenarios: 'repro scenario list' / 'repro scenario run <name>'")
+    lines.append("saved results: 'repro results show <file>' / 'repro results diff <a> <b>'")
     return "\n".join(lines)
 
 
@@ -149,7 +229,7 @@ def _list_scenarios() -> str:
 
 
 def _scenario_main(argv: List[str]) -> int:
-    from .scenarios import run_scenario, sweep_scenarios
+    from .scenarios import run_scenario, run_sweep
 
     parser = build_scenario_parser()
     args = parser.parse_args(argv)
@@ -165,9 +245,47 @@ def _scenario_main(argv: List[str]) -> int:
         names = None
         if args.scenarios:
             names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
-        result = sweep_scenarios(names=names, config=config, metric=args.metric)
+        result = run_sweep(names=names, config=config, metric=args.metric)
     _print_result(result, args.markdown)
+    _maybe_save(result, args, parser)
     return 0
+
+
+def _results_main(argv: List[str]) -> int:
+    from . import api
+    from .errors import ResultsError
+
+    parser = build_results_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "show":
+        try:
+            result_set = api.load_results(args.file)
+        except (ResultsError, OSError) as exc:
+            parser.error(str(exc))
+        experiments = sorted(set(result_set.column("experiment_id")))
+        if len(experiments) <= 1:
+            _print_result(result_set.pivot(), args.markdown)
+        else:
+            # A multi-experiment file (e.g. a sweep): one table per
+            # experiment, rendered from that experiment's records.
+            parts = []
+            for experiment_id, group in result_set.group_by("experiment_id").items():
+                table = group.pivot(title=str(experiment_id), notes=())
+                parts.append(
+                    table.render_markdown() if args.markdown else table.render()
+                )
+            print("\n\n".join(parts))
+        return 0
+    # diff
+    if args.rel_tol < 0:
+        parser.error("--rel-tol must be >= 0")
+    try:
+        diff = api.compare(args.file_a, args.file_b, rel_tol=args.rel_tol)
+    except (ResultsError, OSError) as exc:
+        parser.error(str(exc))
+    print(diff.render())
+    return 0 if diff.identical else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -175,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "scenario":
         return _scenario_main(argv[1:])
+    if argv and argv[0] == "results":
+        return _results_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -186,6 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = _config_from(args, parser)
     result = run_experiment(args.experiment, config)
     _print_result(result, args.markdown)
+    _maybe_save(result, args, parser)
     return 0
 
 

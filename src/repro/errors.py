@@ -20,6 +20,7 @@ __all__ = [
     "WorkloadError",
     "UnknownProblem",
     "ExperimentError",
+    "ResultsError",
 ]
 
 
@@ -115,3 +116,10 @@ class UnknownProblem(WorkloadError):
 # --------------------------------------------------------------------------- #
 class ExperimentError(ReproError):
     """Error raised by the experiment harness."""
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+class ResultsError(ReproError):
+    """Error raised by the results subsystem (records, result sets, files)."""

@@ -6,6 +6,7 @@ from .config import (
     HIGH_RATE_MEAN_S,
     LOW_RATE_MEAN_S,
     PAPER_HEURISTIC_ORDER,
+    SCALES,
     SMOKE_SCALE,
     TASKS_PER_METATASK,
     ExperimentConfig,
@@ -34,6 +35,7 @@ __all__ = [
     "FULL_SCALE",
     "SMOKE_SCALE",
     "BENCH_SCALE",
+    "SCALES",
     "TASKS_PER_METATASK",
     "LOW_RATE_MEAN_S",
     "HIGH_RATE_MEAN_S",

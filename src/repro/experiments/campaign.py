@@ -15,22 +15,27 @@ This module makes that structure explicit:
   executor, any interleaving, same numbers.
 * executors — :class:`SerialExecutor` (in-process, the legacy behaviour) and
   :class:`MultiprocessingExecutor` (a process pool, ``--jobs N`` from the
-  CLI).  Both preserve cell order in their result list.
-* :func:`run_campaign` — plans the cells, executes them, and reassembles a
-  :class:`~repro.experiments.runner.TableResult` exactly as the serial runner
-  would: reference (MCT) cells are assembled first so "tasks finishing
-  sooner" comparisons pair each run with the reference run of the *same*
-  (metatask, repetition) cell.
+  CLI).  Both preserve cell order in their result list and *stream* each
+  result back through an optional ``on_result`` callback as it completes.
+* :func:`run_campaign` — plans the cells, executes them, builds one
+  provenance-stamped :class:`~repro.results.RunRecord` per cell as results
+  stream in (feeding any attached
+  :class:`~repro.results.CampaignObserver`), and assembles the
+  :class:`~repro.experiments.runner.TableResult` as a pure
+  :meth:`~repro.results.ResultSet.pivot` view over the records.  Reference
+  (MCT) cells are planned first so "tasks finishing sooner" comparisons pair
+  each run with the reference run of the *same* (metatask, repetition) cell.
 
-``run_table_experiment`` in :mod:`repro.experiments.runner` is now a thin
-wrapper over :func:`run_campaign`, so every table, ablation and matrix
-campaign scales with cores through the same engine.
+The documented entry points over this engine live in :mod:`repro.api`;
+``run_table_experiment`` in :mod:`repro.experiments.runner` remains as a
+deprecated shim.
 """
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.heuristics import Heuristic, create_heuristic
@@ -39,6 +44,15 @@ from ..metrics.comparison import tasks_finishing_sooner
 from ..metrics.flow import summarize
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
+from ..results import (
+    METRIC_FIELD_ORDER,
+    METRIC_ROW_TO_SUMMARY_FIELD,
+    SOONER_METRIC,
+    CampaignObserver,
+    ResultSet,
+    RunRecord,
+    config_fingerprint,
+)
 from ..workload.metatask import Metatask
 from ..workload.problems import PAPER_CATALOGUE, ProblemCatalogue
 from .config import ExperimentConfig
@@ -56,17 +70,12 @@ __all__ = [
     "METRIC_ROW_TO_SUMMARY_FIELD",
 ]
 
-#: Metric rows every campaign column carries, mapped to the
-#: :class:`~repro.metrics.flow.MetricSummary` field each one averages.
-#: Scenario sweeps import this mapping to validate ranking metrics, so the
-#: two can never drift apart.
-METRIC_ROW_TO_SUMMARY_FIELD = {
-    "completed tasks": "n_completed",
-    "makespan": "makespan",
-    "sumflow": "sum_flow",
-    "maxflow": "max_flow",
-    "maxstretch": "max_stretch",
-}
+#: Summary fields copied onto every record (everything but the pairwise
+#: ``sooner`` count, which needs the reference run).
+_RECORD_SUMMARY_FIELDS = tuple(f for f in METRIC_FIELD_ORDER if f != SOONER_METRIC)
+
+#: Callback streamed one ``(cell index, result)`` pair per completed cell.
+OnResult = Callable[[int, RunResult], None]
 
 
 def derive_seed_offset(metatask_index: int, repetition: int) -> int:
@@ -158,13 +167,30 @@ def execute_cell(work: CellWork) -> RunResult:
     return middleware.run(work.metatask)
 
 
+def _execute_serially(
+    work_items: Sequence[CellWork], on_result: Optional[OnResult]
+) -> List[RunResult]:
+    """In-process execution loop shared by the serial paths of both executors."""
+    results: List[RunResult] = []
+    for index, work in enumerate(work_items):
+        run = execute_cell(work)
+        results.append(run)
+        if on_result is not None:
+            on_result(index, run)
+    return results
+
+
 class SerialExecutor:
     """Execute cells one after the other in the current process."""
 
     jobs = 1
 
-    def __call__(self, work_items: Sequence[CellWork]) -> List[RunResult]:
-        return [execute_cell(work) for work in work_items]
+    def __call__(
+        self,
+        work_items: Sequence[CellWork],
+        on_result: Optional[OnResult] = None,
+    ) -> List[RunResult]:
+        return _execute_serially(work_items, on_result)
 
     def __repr__(self) -> str:
         return "<SerialExecutor>"
@@ -207,7 +233,11 @@ class MultiprocessingExecutor:
             method = multiprocessing.get_start_method(allow_none=False)
         return multiprocessing.get_context(method)
 
-    def __call__(self, work_items: Sequence[CellWork]) -> List[RunResult]:
+    def __call__(
+        self,
+        work_items: Sequence[CellWork],
+        on_result: Optional[OnResult] = None,
+    ) -> List[RunResult]:
         work_items = list(work_items)
         if not work_items:
             return []
@@ -216,18 +246,27 @@ class MultiprocessingExecutor:
         if processes == 1 or multiprocessing.current_process().daemon:
             # Daemonic processes may not have children: a nested campaign
             # (e.g. an experiment running inside a pool worker) runs serially.
-            return [execute_cell(work) for work in work_items]
+            return _execute_serially(work_items, on_result)
         try:
             pool = self._context().Pool(processes=processes)
         except (AssertionError, OSError, ValueError):
             # Pool *creation* failed (daemonic contexts that slipped past the
             # check above raise AssertionError; exotic platforms raise
             # OSError/ValueError).  Fall back to serial execution.  Errors
-            # raised by the cells themselves propagate from pool.map below —
-            # they must not silently trigger a serial re-run of the campaign.
-            return [execute_cell(work) for work in work_items]
+            # raised by the cells themselves propagate from the pool map below
+            # — they must not silently trigger a serial re-run of the campaign.
+            return _execute_serially(work_items, on_result)
         with pool:
-            return pool.map(execute_cell, work_items, chunksize=self.chunksize)
+            # ``imap`` yields results in input order as workers finish, which
+            # is what lets observers stream while the pool is still running.
+            results: List[RunResult] = []
+            for index, run in enumerate(
+                pool.imap(execute_cell, work_items, chunksize=self.chunksize)
+            ):
+                results.append(run)
+                if on_result is not None:
+                    on_result(index, run)
+            return results
 
     def __repr__(self) -> str:
         return f"<MultiprocessingExecutor jobs={self.jobs}>"
@@ -246,6 +285,101 @@ def create_executor(jobs: Optional[int]) -> CellExecutor:
     return MultiprocessingExecutor(jobs)
 
 
+def _supports_on_result(executor: Callable) -> bool:
+    """Whether an executor accepts the streaming ``on_result`` callback."""
+    try:
+        parameters = inspect.signature(executor).parameters.values()
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return any(
+        p.name == "on_result" or p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters
+    )
+
+
+class _CampaignAssembler:
+    """Streams ``(cell, run)`` pairs into records, outcomes and observers.
+
+    Results must be fed in planned cell order (reference heuristic first) so
+    every "tasks finishing sooner" comparison finds its reference run; the
+    assembler buffers out-of-order arrivals from exotic executors and always
+    *processes* contiguously from cell 0.
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        cells: Sequence[RunCell],
+        work_items: Sequence[CellWork],
+        config: ExperimentConfig,
+        observers: Sequence[CampaignObserver],
+    ):
+        from .runner import HeuristicOutcome  # circular-import guard
+
+        self._outcome_factory = HeuristicOutcome
+        self.experiment_id = experiment_id
+        self.cells = cells
+        self.work_items = work_items
+        self.config = config
+        self.observers = list(observers)
+        self.config_hash = config_fingerprint(config)
+        self.result_set = ResultSet()
+        self.outcomes: Dict[str, object] = {}
+        self.reference_runs: Dict[Tuple[int, int], RunResult] = {}
+        self._pending: Dict[int, RunResult] = {}
+        self._next = 0
+
+    def on_result(self, index: int, run: RunResult) -> None:
+        """Accept one executor result (any order; processing stays ordered)."""
+        if index < self._next or index in self._pending:
+            return  # already processed (a replay after a non-streaming executor)
+        self._pending[index] = run
+        while self._next in self._pending:
+            self._process(self._next, self._pending.pop(self._next))
+            self._next += 1
+
+    @property
+    def processed(self) -> int:
+        """Number of cells processed so far (contiguous from cell 0)."""
+        return self._next
+
+    def _process(self, index: int, run: RunResult) -> None:
+        cell = self.cells[index]
+        outcome = self.outcomes.setdefault(
+            cell.heuristic, self._outcome_factory(cell.heuristic)
+        )
+        outcome.runs.append(run)
+        summary = summarize(run.tasks, cell.heuristic)
+        outcome.summaries.append(summary)
+        metrics: Dict[str, Optional[float]] = {
+            name: float(getattr(summary, name)) for name in _RECORD_SUMMARY_FIELDS
+        }
+        if cell.heuristic == self.config.reference:
+            self.reference_runs[cell.key] = run
+        elif cell.key in self.reference_runs:
+            comparison = tasks_finishing_sooner(
+                run.tasks,
+                self.reference_runs[cell.key].tasks,
+                cell.heuristic,
+                self.config.reference,
+            )
+            outcome.comparisons.append(comparison)
+            metrics[SOONER_METRIC] = float(comparison.sooner)
+        record = RunRecord(
+            experiment_id=self.experiment_id,
+            heuristic=cell.heuristic,
+            metatask_index=cell.metatask_index,
+            repetition=cell.repetition,
+            seed=self.work_items[index].middleware_config.seed,
+            config_hash=self.config_hash,
+            truncated=run.truncated,
+            metrics=metrics,
+        )
+        self.result_set.append(record)
+        for observer in self.observers:
+            observer.on_cell_complete(index, len(self.cells), record)
+
+
 def run_campaign(
     experiment_id: str,
     title: str,
@@ -257,15 +391,23 @@ def run_campaign(
     notes: Optional[List[str]] = None,
     jobs: Optional[int] = None,
     executor: Optional[CellExecutor] = None,
+    observers: Sequence[CampaignObserver] = (),
 ):
     """Run a full table campaign and assemble its :class:`TableResult`.
 
     ``jobs`` defaults to ``config.jobs``; an explicit ``executor`` (anything
     mapping an ordered list of :class:`CellWork` to an ordered list of
-    :class:`RunResult`) overrides both — the pluggable backend hook.
-    """
-    from .runner import HeuristicOutcome, TableResult  # circular-import guard
+    :class:`RunResult`, optionally streaming each result through an
+    ``on_result(index, result)`` keyword callback) overrides both — the
+    pluggable backend hook.
 
+    As cells complete, one :class:`~repro.results.RunRecord` per cell is
+    assembled in planned order and streamed to ``observers`` (plus any
+    observers attached to ``config.observers``).  The returned table carries
+    the full record set on ``TableResult.result_set`` — ``table.columns`` is
+    exactly ``table.result_set.pivot().columns``, i.e. the table is a pure
+    view over the records.
+    """
     metatasks = list(metatasks)
     cells = plan_cells(config, len(metatasks))
     work_items = [
@@ -281,10 +423,27 @@ def run_campaign(
     ]
     if executor is None:
         executor = create_executor(config.jobs if jobs is None else jobs)
-    results = executor(work_items)
+
+    all_observers = list(observers) + list(getattr(config, "observers", ()) or ())
+    assembler = _CampaignAssembler(experiment_id, cells, work_items, config, all_observers)
+    for observer in all_observers:
+        observer.on_campaign_start(experiment_id, len(cells))
+
+    if _supports_on_result(executor):
+        results = executor(work_items, on_result=assembler.on_result)
+    else:
+        results = executor(work_items)
     if len(results) != len(cells):
         raise ExperimentError(
             f"executor returned {len(results)} results for {len(cells)} cells"
+        )
+    # Replay anything the executor did not stream (plain executors stream
+    # nothing; well-behaved ones streamed everything and this is a no-op).
+    for index, run in enumerate(results):
+        assembler.on_result(index, run)
+    if assembler.processed != len(cells):
+        raise ExperimentError(
+            f"assembled {assembler.processed} cells out of {len(cells)}"
         )
 
     # Truncated runs (the middleware safety horizon fired) must not be
@@ -302,41 +461,22 @@ def run_campaign(
             + ", ".join(truncated_cells)
         )
 
-    # Assembly — identical to the historical serial loop: cells are ordered
-    # reference-first, so every reference run is recorded before the runs it
-    # is compared against.
-    outcomes: Dict[str, HeuristicOutcome] = {}
-    reference_runs: Dict[Tuple[int, int], RunResult] = {}
-    for cell, run in zip(cells, results):
-        outcome = outcomes.setdefault(cell.heuristic, HeuristicOutcome(cell.heuristic))
-        outcome.runs.append(run)
-        outcome.summaries.append(summarize(run.tasks, cell.heuristic))
-        if cell.heuristic == config.reference:
-            reference_runs[cell.key] = run
-        elif cell.key in reference_runs:
-            outcome.comparisons.append(
-                tasks_finishing_sooner(
-                    run.tasks,
-                    reference_runs[cell.key].tasks,
-                    cell.heuristic,
-                    config.reference,
-                )
-            )
+    result_set = assembler.result_set
+    result_set.meta = {
+        "experiment_id": experiment_id,
+        "title": title,
+        "notes": notes,
+        "config_hash": assembler.config_hash,
+        "scale": config.scale.name,
+        "seed": config.seed,
+        "reference": config.reference,
+    }
+    for observer in all_observers:
+        observer.on_campaign_end(result_set)
 
-    columns: Dict[str, Dict[str, float]] = {}
-    for name, outcome in outcomes.items():
-        column: Dict[str, float] = {
-            row: outcome.mean_metric(field)
-            for row, field in METRIC_ROW_TO_SUMMARY_FIELD.items()
-        }
-        if name != config.reference and outcome.mean_sooner is not None:
-            column["tasks finishing sooner than MCT"] = outcome.mean_sooner
-        columns[name] = column
-
-    return TableResult(
-        experiment_id=experiment_id,
-        title=title,
-        columns=columns,
-        outcomes=outcomes,
-        notes=notes,
-    )
+    # The table is a pure pivot view over the records; the rich per-run
+    # objects (tasks, server stats) ride along in ``outcomes`` for consumers
+    # that need more than the aggregated numbers.
+    table = result_set.pivot()
+    table.outcomes = assembler.outcomes
+    return table

@@ -33,6 +33,7 @@ __all__ = [
     "FULL_SCALE",
     "SMOKE_SCALE",
     "BENCH_SCALE",
+    "SCALES",
 ]
 
 #: Number of tasks per metatask in the paper's experiments.
@@ -75,6 +76,9 @@ SMOKE_SCALE = ExperimentScale(name="smoke", task_count=60, metatask_count=2, rep
 #: wall-clock time of `pytest benchmarks/`).
 BENCH_SCALE = ExperimentScale(name="bench", task_count=200, metatask_count=2, repetitions=1)
 
+#: Named scales, as accepted by the CLI's ``--scale`` and ``repro.api``.
+SCALES = {"full": FULL_SCALE, "smoke": SMOKE_SCALE, "bench": BENCH_SCALE}
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -90,6 +94,11 @@ class ExperimentConfig:
     #: Worker processes used by the campaign engine (1 = in-process serial).
     #: Seeds derive from cell coordinates, so any value yields the same table.
     jobs: int = 1
+    #: Streaming result observers (:class:`repro.results.CampaignObserver`)
+    #: attached to every campaign run with this configuration.  Execution-only
+    #: — observers never influence the numbers and are excluded from the
+    #: configuration fingerprint stamped on records.
+    observers: Tuple = ()
 
     def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
         """Return a copy using a different scale."""

@@ -32,9 +32,9 @@ def _run_scenario_sweep(config: Optional[ExperimentConfig] = None):
     """Registry adapter for the scenario sweep (import deferred: the scenario
     package pulls in the testbed factories, which this registry must not load
     at import time)."""
-    from ..scenarios import sweep_scenarios
+    from ..scenarios import run_sweep
 
-    return sweep_scenarios(config=config)
+    return run_sweep(config=config)
 
 
 @dataclass(frozen=True)

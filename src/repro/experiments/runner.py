@@ -4,10 +4,19 @@ Runs one or several heuristics on one or several metatasks over a given
 platform, and assembles the per-heuristic columns of the paper's result
 tables: number of completed tasks, makespan, sum-flow, max-flow, max-stretch
 and the number of tasks that finish sooner than under NetSolve's MCT.
+
+Since the unified results API, a :class:`TableResult` is a *view*: the
+numbers live in provenance-stamped :class:`~repro.results.RunRecord` data
+carried on :attr:`TableResult.result_set`, and ``columns`` equals
+``result_set.pivot().columns``.  :func:`run_table_experiment` is kept as a
+deprecated shim over the campaign engine — new code should call
+:func:`repro.api.run` (or :func:`repro.experiments.campaign.run_campaign`
+directly).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -18,6 +27,7 @@ from ..metrics.flow import MetricSummary
 from ..metrics.report import render_markdown_table, render_table
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
+from ..results import ResultSet
 from ..workload.metatask import Metatask
 from ..workload.problems import PAPER_CATALOGUE, ProblemCatalogue
 from .config import ExperimentConfig, PAPER_HEURISTIC_ORDER
@@ -58,13 +68,22 @@ class HeuristicOutcome:
 
 @dataclass
 class TableResult:
-    """The reproduction of one table of the paper."""
+    """The reproduction of one table of the paper.
+
+    ``columns`` is the aggregated view (heuristic → {metric row: value});
+    ``result_set``, when present, holds the per-run records the view was
+    pivoted from — persist it with ``result_set.save("table.jsonl")`` and the
+    identical table re-renders from the loaded records.
+    """
 
     experiment_id: str
     title: str
     columns: Dict[str, Dict[str, float]]
-    outcomes: Dict[str, HeuristicOutcome]
+    outcomes: Dict[str, HeuristicOutcome] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: The records behind the columns (``None`` for hand-built tables such as
+    #: the ablations, which aggregate their own single runs).
+    result_set: Optional[ResultSet] = None
 
     def column(self, heuristic: str) -> Dict[str, float]:
         """The column (metric → value) of one heuristic."""
@@ -76,15 +95,13 @@ class TableResult:
 
     def render(self) -> str:
         """Aligned plain-text rendering (same layout as the paper's tables)."""
-        text = render_table(
+        return render_table(
             self.columns,
             title=self.title,
             column_order=[h for h in PAPER_HEURISTIC_ORDER if h in self.columns],
             row_order=[r for r in TABLE_ROW_ORDER if any(r in c for c in self.columns.values())],
+            notes=self.notes,
         )
-        if self.notes:
-            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
-        return text
 
     def render_markdown(self) -> str:
         """Markdown rendering for EXPERIMENTS.md."""
@@ -92,6 +109,7 @@ class TableResult:
             self.columns,
             column_order=[h for h in PAPER_HEURISTIC_ORDER if h in self.columns],
             row_order=[r for r in TABLE_ROW_ORDER if any(r in c for c in self.columns.values())],
+            notes=self.notes,
         )
 
     def __str__(self) -> str:
@@ -126,20 +144,21 @@ def run_table_experiment(
     notes: Optional[List[str]] = None,
     jobs: Optional[int] = None,
 ) -> TableResult:
-    """Reproduce one results table.
+    """Deprecated shim over the campaign engine.
 
-    Every heuristic of ``config.heuristics`` is run on every metatask
-    (``config.scale.repetitions`` times, varying the middleware seed).  The
-    reference heuristic (MCT) is assembled first so "tasks finishing sooner"
-    can be computed per metatask against the matching reference run.
-
-    Execution is delegated to the campaign engine
-    (:func:`repro.experiments.campaign.run_campaign`): the experiment is
-    decomposed into independent (heuristic × metatask × repetition) cells
-    whose seeds derive from their coordinates, so running with ``jobs > 1``
-    (or ``config.jobs > 1``) on a process pool returns the same table as the
-    serial path, bit for bit.
+    .. deprecated:: 1.1
+        Call :func:`repro.api.run` (for registered experiments) or
+        :func:`repro.experiments.campaign.run_campaign` (for custom table
+        campaigns) instead; both return the same :class:`TableResult`, record
+        for record.  This wrapper only exists so pre-results-API scripts keep
+        working, and will be removed in a future major version.
     """
+    warnings.warn(
+        "run_table_experiment() is deprecated; use repro.api.run() or "
+        "repro.experiments.campaign.run_campaign() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from .campaign import run_campaign
 
     return run_campaign(

@@ -21,7 +21,8 @@ import numpy as np
 
 from ..workload.testbed import first_set_platform, matmul_metatask
 from .config import ExperimentConfig, FULL_SCALE
-from .runner import TableResult, run_table_experiment
+from .campaign import run_campaign
+from .runner import TableResult
 
 __all__ = ["run_table5", "run_table6"]
 
@@ -40,7 +41,7 @@ def run_table5(config: Optional[ExperimentConfig] = None) -> TableResult:
     """Reproduce Table 5 (matrix multiplications, low arrival rate)."""
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
     metatask = _metatask(config, config.low_rate_s, "table5-matmul")
-    return run_table_experiment(
+    return run_campaign(
         experiment_id="table5",
         title=(
             f"Table 5 — matrix multiplications, Poisson mean {config.low_rate_s:g}s, "
@@ -60,7 +61,7 @@ def run_table6(config: Optional[ExperimentConfig] = None) -> TableResult:
     """Reproduce Table 6 (matrix multiplications, high arrival rate)."""
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
     metatask = _metatask(config, config.high_rate_s, "table6-matmul")
-    return run_table_experiment(
+    return run_campaign(
         experiment_id="table6",
         title=(
             f"Table 6 — matrix multiplications, Poisson mean {config.high_rate_s:g}s, "

@@ -22,7 +22,8 @@ import numpy as np
 from ..workload.metatask import Metatask
 from ..workload.testbed import second_set_platform, wastecpu_metatask
 from .config import ExperimentConfig, FULL_SCALE
-from .runner import TableResult, run_table_experiment
+from .campaign import run_campaign
+from .runner import TableResult
 
 __all__ = ["run_table7", "run_table8", "second_set_metatasks"]
 
@@ -47,7 +48,7 @@ def run_table7(config: Optional[ExperimentConfig] = None) -> TableResult:
     """Reproduce Table 7 (waste-cpu tasks, low arrival rate)."""
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
     metatasks = second_set_metatasks(config, config.low_rate_s, "table7-wastecpu")
-    return run_table_experiment(
+    return run_campaign(
         experiment_id="table7",
         title=(
             f"Table 7 — waste-cpu tasks, Poisson mean {config.low_rate_s:g}s, "
@@ -67,7 +68,7 @@ def run_table8(config: Optional[ExperimentConfig] = None) -> TableResult:
     """Reproduce Table 8 (waste-cpu tasks, high arrival rate)."""
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
     metatasks = second_set_metatasks(config, config.high_rate_s, "table8-wastecpu")
-    return run_table_experiment(
+    return run_campaign(
         experiment_id="table8",
         title=(
             f"Table 8 — waste-cpu tasks, Poisson mean {config.high_rate_s:g}s, "

@@ -118,13 +118,23 @@ def rank_heuristics(
     """Rank heuristics from one result table, best first.
 
     ``columns`` is a ``TableResult.columns``-shaped mapping (heuristic →
-    {metric: value}).  Completed tasks dominate — a heuristic that loses tasks
-    never outranks one that completes more, whatever its flow metrics (the
-    paper's Table 6 lesson) — with the given metric (lower is better) breaking
-    ties; heuristic name breaks exact ties deterministically.  Both the
-    ``"completed tasks"`` row and the tie-break metric must be present in
-    every column: silently defaulting either would let the ranking degrade
-    without any signal.
+    {metric: value}).
+
+    Ordering contract (a strict total order — the result is fully
+    deterministic and independent of the mapping's iteration order):
+
+    1. **completed tasks, descending** — a heuristic that loses tasks never
+       outranks one that completes more, whatever its flow metrics (the
+       paper's Table 6 lesson);
+    2. **the given metric, ascending** (lower is better) breaks completion
+       ties;
+    3. **heuristic name, ascending lexicographically** breaks exact metric
+       ties, so two heuristics can never swap places between runs or
+       platforms.
+
+    Both the ``"completed tasks"`` row and the tie-break metric must be
+    present in every column: silently defaulting either would let the
+    ranking degrade without any signal.
     """
     def sort_key(name: str):
         column = columns[name]
@@ -148,9 +158,13 @@ def cross_scenario_ranking(
     ``scenario_columns`` maps scenario name → ``TableResult.columns``.  The
     result maps heuristic → {scenario: ``"#rank (value)"``} — ready for
     :func:`repro.metrics.report.render_table` with scenarios as rows — ranked
-    by :func:`rank_heuristics` per scenario.  Scenarios missing a heuristic
-    get a ``"-"`` cell rather than an error, so sweeps over scenarios with
-    different heuristic sets still render.
+    by :func:`rank_heuristics` per scenario (see its docstring for the
+    deterministic ordering contract, including the final name tie-break).
+    Row order is first-seen order across the scenarios' columns, so for a
+    fixed ``scenario_columns`` input the summary table is reproduced byte
+    for byte.  Scenarios missing a heuristic get a ``"-"`` cell rather than
+    an error, so sweeps over scenarios with different heuristic sets still
+    render.
     """
     heuristics: List[str] = []
     for columns in scenario_columns.values():

@@ -56,8 +56,14 @@ def render_table(
     title: str = "",
     column_order: Optional[Sequence[str]] = None,
     row_order: Optional[Sequence[str]] = None,
+    notes: Optional[Sequence[str]] = None,
 ) -> str:
-    """Render ``columns`` (heuristic → {metric: value}) as an aligned text table."""
+    """Render ``columns`` (heuristic → {metric: value}) as an aligned text table.
+
+    ``notes`` lines, when given, are appended after the table as
+    ``note: ...`` lines — this is the *only* place that formats table notes
+    (``TableResult.render`` and the sweep renderer both delegate here).
+    """
     col_names = _column_order(columns, column_order)
     row_names = _row_order(columns, row_order)
     label_width = max([len(r) for r in row_names] + [10])
@@ -79,6 +85,8 @@ def render_table(
         for col in col_names:
             cells.append(format_value(columns[col].get(row)))
         lines.append(f"{row:<{label_width}}" + "".join(f"{cell:>{col_width}}" for cell in cells))
+    for note in notes or ():
+        lines.append(f"note: {note}")
     return "\n".join(lines)
 
 
@@ -86,8 +94,12 @@ def render_markdown_table(
     columns: Mapping[str, Mapping[str, Number]],
     column_order: Optional[Sequence[str]] = None,
     row_order: Optional[Sequence[str]] = None,
+    notes: Optional[Sequence[str]] = None,
 ) -> str:
-    """Render ``columns`` as a GitHub-flavoured Markdown table."""
+    """Render ``columns`` as a GitHub-flavoured Markdown table.
+
+    ``notes`` lines are appended after the table as emphasised lines.
+    """
     col_names = _column_order(columns, column_order)
     row_names = _row_order(columns, row_order)
     lines = ["| metric | " + " | ".join(col_names) + " |"]
@@ -95,4 +107,7 @@ def render_markdown_table(
     for row in row_names:
         cells = [format_value(columns[col].get(row)) for col in col_names]
         lines.append(f"| {row} | " + " | ".join(cells) + " |")
+    if notes:
+        lines.append("")
+        lines.extend(f"*note: {note}*  " for note in notes)
     return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""The unified results subsystem: typed run records behind one stable API.
+
+Every middleware run a campaign executes becomes one provenance-stamped
+:class:`RunRecord` (experiment, cell coordinates, derived seed, config hash,
+schema version, truncation flag, metric values).  :class:`ResultSet` holds
+records in columnar form and is the one artifact the rest of the repo passes
+around: the paper's tables are ``result_set.pivot()`` views, persistence is
+``result_set.save("results.jsonl")`` (or ``.csv``) with a versioned,
+byte-stable round-trip, and campaigns stream records into observers as cells
+complete.
+
+The documented entry points live one level up, in :mod:`repro.api`.
+"""
+
+from .diff import MetricChange, ResultDiff, diff_result_sets
+from .observers import CampaignObserver, ProgressObserver, ResultSetObserver
+from .records import (
+    METRIC_FIELD_ORDER,
+    METRIC_ROW_TO_SUMMARY_FIELD,
+    SCHEMA_VERSION,
+    SOONER_METRIC,
+    SOONER_ROW,
+    RunRecord,
+    config_fingerprint,
+)
+from .resultset import ResultSet
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "METRIC_ROW_TO_SUMMARY_FIELD",
+    "METRIC_FIELD_ORDER",
+    "SOONER_METRIC",
+    "SOONER_ROW",
+    "RunRecord",
+    "ResultSet",
+    "config_fingerprint",
+    "CampaignObserver",
+    "ResultSetObserver",
+    "ProgressObserver",
+    "MetricChange",
+    "ResultDiff",
+    "diff_result_sets",
+]

@@ -1,0 +1,131 @@
+"""Structural diff of two result sets.
+
+Used by :func:`repro.api.compare` and the ``repro results diff`` CLI: two
+result files (or in-memory sets) are matched record-by-record on their
+coordinates ``(experiment_id, heuristic, metatask_index, repetition)`` and
+every metric, provenance and truncation difference is reported.  Two sets
+saved from the same campaign — whatever the ``jobs`` level — always diff
+clean, which is the determinism contract the persistence layer guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .records import RunRecord
+from .resultset import ResultSet
+
+__all__ = ["MetricChange", "ResultDiff", "diff_result_sets"]
+
+#: Record coordinates used to pair records across the two sets.
+RecordKey = Tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class MetricChange:
+    """One differing value between two paired records."""
+
+    key: RecordKey
+    #: What changed: a metric name, ``"config_hash"`` or ``"truncated"``.
+    what: str
+    a: object
+    b: object
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        experiment, heuristic, metatask, repetition = self.key
+        return (
+            f"{experiment} {heuristic} m{metatask} rep{repetition}: "
+            f"{self.what} {self.a!r} -> {self.b!r}"
+        )
+
+
+@dataclass
+class ResultDiff:
+    """Outcome of comparing two result sets ("a" vs "b")."""
+
+    only_in_a: List[RecordKey] = field(default_factory=list)
+    only_in_b: List[RecordKey] = field(default_factory=list)
+    changes: List[MetricChange] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def identical(self) -> bool:
+        """``True`` when every record matched with no differing value."""
+        return not (self.only_in_a or self.only_in_b or self.changes)
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable summary (at most ``limit`` change lines)."""
+        if self.identical:
+            return f"identical: {self.compared} record(s), no differences"
+        lines = [
+            f"{self.compared} record(s) compared, {len(self.changes)} value "
+            f"difference(s), {len(self.only_in_a)} only in A, "
+            f"{len(self.only_in_b)} only in B"
+        ]
+        for key in self.only_in_a[:limit]:
+            lines.append(f"only in A: {key[0]} {key[1]} m{key[2]} rep{key[3]}")
+        for key in self.only_in_b[:limit]:
+            lines.append(f"only in B: {key[0]} {key[1]} m{key[2]} rep{key[3]}")
+        for change in self.changes[:limit]:
+            lines.append(change.describe())
+        hidden = (
+            max(0, len(self.only_in_a) - limit)
+            + max(0, len(self.only_in_b) - limit)
+            + max(0, len(self.changes) - limit)
+        )
+        if hidden:
+            lines.append(f"... and {hidden} more difference(s)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _values_differ(a: object, b: object, rel_tol: float) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return False
+        return not math.isclose(a, b, rel_tol=rel_tol, abs_tol=0.0)
+    return a != b
+
+
+def diff_result_sets(a: ResultSet, b: ResultSet, rel_tol: float = 0.0) -> ResultDiff:
+    """Diff two result sets record-by-record.
+
+    ``rel_tol`` relaxes metric comparisons (0.0 = exact): useful when
+    comparing runs of intentionally different code versions where only
+    drifts *above* a threshold matter.  Provenance fields (``config_hash``,
+    ``truncated``) always compare exactly.
+    """
+    def index(result_set: ResultSet) -> Dict[RecordKey, List[RunRecord]]:
+        groups: Dict[RecordKey, List[RunRecord]] = {}
+        for record in result_set:
+            groups.setdefault(record.sort_key, []).append(record)
+        return groups
+
+    records_a, records_b = index(a), index(b)
+    diff = ResultDiff()
+    diff.only_in_a = sorted(set(records_a) - set(records_b))
+    diff.only_in_b = sorted(set(records_b) - set(records_a))
+    for key in sorted(set(records_a) & set(records_b)):
+        group_a, group_b = records_a[key], records_b[key]
+        if len(group_a) != len(group_b):
+            # Duplicate coordinates (e.g. the same set merged into itself)
+            # must surface, not be collapsed into a clean 'identical'.
+            diff.changes.append(
+                MetricChange(key, "record count", len(group_a), len(group_b))
+            )
+        for record_a, record_b in zip(group_a, group_b):
+            diff.compared += 1
+            for what in ("config_hash", "truncated", "seed"):
+                value_a, value_b = getattr(record_a, what), getattr(record_b, what)
+                if value_a != value_b:
+                    diff.changes.append(MetricChange(key, what, value_a, value_b))
+            for name in sorted(set(record_a.metrics) | set(record_b.metrics)):
+                value_a, value_b = record_a.metric(name), record_b.metric(name)
+                if _values_differ(value_a, value_b, rel_tol):
+                    diff.changes.append(MetricChange(key, name, value_a, value_b))
+    return diff

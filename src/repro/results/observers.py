@@ -1,0 +1,83 @@
+"""Streaming observers of a running campaign.
+
+The campaign engine (:func:`repro.experiments.campaign.run_campaign`) builds
+one :class:`~repro.results.records.RunRecord` per cell *as results stream
+back from the executor*, in planned cell order, and notifies every attached
+observer.  Observers therefore see a campaign incrementally — enough to feed
+a live result store or a progress display — without ever changing the
+numbers: they are pure consumers, called in the same deterministic order at
+every ``jobs`` level.
+
+Attach observers either through ``run_campaign(..., observers=[...])`` or
+through ``ExperimentConfig.observers`` (which rides along ``repro.api.run``
+and the scenario runners).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from .records import RunRecord
+from .resultset import ResultSet
+
+__all__ = ["CampaignObserver", "ResultSetObserver", "ProgressObserver"]
+
+
+class CampaignObserver:
+    """Base observer: every hook is a no-op — override what you need."""
+
+    def on_campaign_start(self, experiment_id: str, total_cells: int) -> None:
+        """Called once, before the first cell executes."""
+
+    def on_cell_complete(self, index: int, total: int, record: RunRecord) -> None:
+        """Called once per cell, in planned cell order (index is 0-based)."""
+
+    def on_campaign_end(self, result_set: ResultSet) -> None:
+        """Called once, after the last cell, with the campaign's full set."""
+
+
+class ResultSetObserver(CampaignObserver):
+    """Accumulates streamed records into an incremental :class:`ResultSet`.
+
+    ``observer.result_set`` grows by one record per completed cell; after
+    ``on_campaign_end`` it equals the campaign's own set (records only —
+    the campaign attaches title/notes meta to its final set).  One observer
+    instance may watch several campaigns in sequence and ends up with the
+    concatenation, which is how sweeps build their combined set.
+    """
+
+    def __init__(self, result_set: Optional[ResultSet] = None):
+        self.result_set = result_set if result_set is not None else ResultSet()
+
+    def on_cell_complete(self, index: int, total: int, record: RunRecord) -> None:
+        self.result_set.append(record)
+
+
+class ProgressObserver(CampaignObserver):
+    """Prints one progress line per completed cell (the CLI's ``--progress``).
+
+    Output goes to ``stream`` (default: stderr, so tables on stdout stay
+    machine-parsable and byte-identical with and without progress display).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def on_campaign_start(self, experiment_id: str, total_cells: int) -> None:
+        print(f"[{experiment_id}] {total_cells} cells planned", file=self.stream)
+
+    def on_cell_complete(self, index: int, total: int, record: RunRecord) -> None:
+        status = " TRUNCATED" if record.truncated else ""
+        print(
+            f"[{record.experiment_id}] {index + 1}/{total} "
+            f"{record.heuristic} m{record.metatask_index} rep{record.repetition}{status}",
+            file=self.stream,
+        )
+
+    def on_campaign_end(self, result_set: ResultSet) -> None:
+        print(
+            f"[{result_set.meta.get('experiment_id', 'campaign')}] "
+            f"done: {len(result_set)} records",
+            file=self.stream,
+        )

@@ -1,0 +1,173 @@
+"""The run-record schema of the unified results API.
+
+One :class:`RunRecord` is the provenance-stamped outcome of one middleware
+run — one cell of a campaign: which experiment (or scenario) it belongs to,
+the full cell coordinates ``(heuristic, metatask_index, repetition)``, the
+derived seed actually used, a fingerprint of the configuration that produced
+it, the schema version it was written under, the truncation flag and every
+per-run metric value.  Records are the *atoms* of the results subsystem:
+every table of the paper is a pure aggregation view over them
+(:meth:`repro.results.ResultSet.pivot`), and persistence round-trips them
+without loss.
+
+The schema is versioned (:data:`SCHEMA_VERSION`).  Loading a file written by
+a *newer* schema fails loudly; older versions are migrated in
+:mod:`repro.results.resultset` as the schema evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ResultsError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "METRIC_ROW_TO_SUMMARY_FIELD",
+    "SOONER_ROW",
+    "SOONER_METRIC",
+    "METRIC_FIELD_ORDER",
+    "RunRecord",
+    "config_fingerprint",
+]
+
+#: Version of the on-disk record schema.  Bump when a field is added,
+#: removed or changes meaning; loaders reject *future* versions.
+SCHEMA_VERSION = 1
+
+#: Metric rows of the paper's tables, mapped to the
+#: :class:`~repro.metrics.flow.MetricSummary` field each one averages.  This
+#: is the single source of truth: the campaign engine, the scenario sweeps
+#: and :meth:`ResultSet.pivot` all import it, so the table view and the
+#: record schema can never drift apart.
+METRIC_ROW_TO_SUMMARY_FIELD = {
+    "completed tasks": "n_completed",
+    "makespan": "makespan",
+    "sumflow": "sum_flow",
+    "maxflow": "max_flow",
+    "maxstretch": "max_stretch",
+}
+
+#: Metric key holding the per-run "tasks finishing sooner than the reference"
+#: count (``None`` on reference-heuristic records) and the table row it
+#: becomes under :meth:`ResultSet.pivot`.
+SOONER_METRIC = "sooner"
+SOONER_ROW = "tasks finishing sooner than MCT"
+
+#: Canonical order of the metric columns in persisted files.  Metrics not
+#: listed here (user extensions) are appended in sorted order.
+METRIC_FIELD_ORDER = (
+    "n_completed",
+    "makespan",
+    "sum_flow",
+    "max_flow",
+    "max_stretch",
+    "mean_flow",
+    "mean_stretch",
+    SOONER_METRIC,
+)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The provenance-stamped outcome of one middleware run.
+
+    ``metrics`` maps metric name → value; ``None`` marks a metric that does
+    not apply to this record (e.g. ``"sooner"`` on the reference heuristic).
+    """
+
+    #: Experiment or scenario the run belongs to (``"table5"``,
+    #: ``"scenario-burst-storm"``, ...).
+    experiment_id: str
+    heuristic: str
+    metatask_index: int
+    repetition: int
+    #: The *derived* middleware seed the run actually used (root seed + cell
+    #: coordinate offset [+ scenario offset]).
+    seed: int
+    #: Fingerprint of the producing :class:`ExperimentConfig` (excluding
+    #: execution-only knobs such as ``jobs``) — see :func:`config_fingerprint`.
+    config_hash: str
+    #: ``True`` when the run hit ``max_horizon_s`` and was cut short.
+    truncated: bool = False
+    metrics: Mapping[str, Optional[float]] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def sort_key(self) -> Tuple[str, str, int, int]:
+        """The canonical record ordering: ``(experiment_id, heuristic,
+        metatask_index, repetition)``.  Persistence sorts by this key, which
+        is why ``jobs=1`` and ``jobs=N`` campaigns save byte-identical files.
+        """
+        return (self.experiment_id, self.heuristic, self.metatask_index, self.repetition)
+
+    def metric(self, name: str) -> Optional[float]:
+        """One metric value (``None`` when absent or inapplicable)."""
+        return self.metrics.get(name)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary form used by the JSONL persistence layer."""
+        return {
+            "experiment_id": self.experiment_id,
+            "heuristic": self.heuristic,
+            "metatask_index": self.metatask_index,
+            "repetition": self.repetition,
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+            "truncated": self.truncated,
+            "metrics": dict(self.metrics),
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from its :meth:`to_json_dict` form."""
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise ResultsError(
+                f"record written by schema version {version!r}, this library "
+                f"reads up to {SCHEMA_VERSION} — upgrade repro to load it"
+            )
+        try:
+            return cls(
+                experiment_id=str(data["experiment_id"]),
+                heuristic=str(data["heuristic"]),
+                metatask_index=int(data["metatask_index"]),
+                repetition=int(data["repetition"]),
+                seed=int(data["seed"]),
+                config_hash=str(data["config_hash"]),
+                truncated=bool(data["truncated"]),
+                metrics={
+                    str(k): (None if v is None else float(v))
+                    for k, v in dict(data["metrics"]).items()
+                },
+                schema_version=version,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultsError(f"malformed run record: {exc}") from exc
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable fingerprint of an :class:`ExperimentConfig`.
+
+    Hashes the fields that *determine the numbers* — scale, root seed,
+    arrival rates, heuristic set, reference and the full middleware
+    configuration — and deliberately excludes execution-only knobs
+    (``jobs``, observers): a campaign run serially and one fanned out over a
+    pool must stamp identical hashes, or saved files could never be
+    byte-compared across machines.
+    """
+    payload = {
+        "scale": asdict(config.scale),
+        "seed": config.seed,
+        "low_rate_s": config.low_rate_s,
+        "high_rate_s": config.high_rate_s,
+        "heuristics": list(config.heuristics),
+        "reference": config.reference,
+        "middleware": asdict(config.middleware),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

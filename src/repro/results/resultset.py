@@ -1,0 +1,494 @@
+"""Columnar container of run records with query, pivot and persistence.
+
+A :class:`ResultSet` holds :class:`~repro.results.records.RunRecord` data in
+*columnar* form — one list per key field, one list per metric — so that
+million-record campaigns filter and aggregate without materialising a Python
+object per run.  Records are materialised on demand (:attr:`records`,
+iteration); the fluent query API (:meth:`filter`, :meth:`group_by`,
+:meth:`aggregate`, :meth:`pivot`) works on the columns directly.
+
+Persistence (:meth:`save` / :meth:`load`) round-trips through JSONL (records
+plus the set-level ``meta`` header) or CSV (records only).  Files are written
+in canonical record order with deterministic float formatting, so two
+campaigns that produced the same records — e.g. ``jobs=1`` and ``jobs=8``
+runs of the same experiment — save **byte-identical** files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..errors import ResultsError
+from ..metrics.aggregate import Aggregate, aggregate_values
+from .records import (
+    METRIC_FIELD_ORDER,
+    METRIC_ROW_TO_SUMMARY_FIELD,
+    SCHEMA_VERSION,
+    SOONER_METRIC,
+    SOONER_ROW,
+    RunRecord,
+)
+
+__all__ = ["ResultSet"]
+
+#: Key (non-metric) fields, in column order.
+_KEY_FIELDS = (
+    "experiment_id",
+    "heuristic",
+    "metatask_index",
+    "repetition",
+    "seed",
+    "config_hash",
+    "truncated",
+    "schema_version",
+)
+
+#: Magic first-line marker of the JSONL format.
+_JSONL_FORMAT = "repro-results"
+
+
+def _format_cell(value: Union[None, bool, int, float, str]) -> str:
+    """Deterministic, round-trip-exact CSV cell text."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class ResultSet:
+    """A columnar, queryable, persistable collection of run records.
+
+    ``meta`` is a small JSON-serialisable mapping describing the set as a
+    whole (experiment id, table title, notes, ...); it travels with the JSONL
+    format and feeds default titles in :meth:`pivot`.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[RunRecord] = (),
+        meta: Optional[Mapping[str, Any]] = None,
+    ):
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._fields: Dict[str, List[Any]] = {name: [] for name in _KEY_FIELDS}
+        self._metrics: Dict[str, List[Optional[float]]] = {}
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def append(self, record: RunRecord) -> None:
+        """Append one record (metric columns stay aligned via ``None`` pads)."""
+        n = len(self)
+        for name in _KEY_FIELDS:
+            self._fields[name].append(getattr(record, name))
+        for name, value in record.metrics.items():
+            column = self._metrics.get(name)
+            if column is None:
+                column = [None] * n
+                self._metrics[name] = column
+            column.append(None if value is None else float(value))
+        for name, column in self._metrics.items():
+            if len(column) == n:  # metric absent from this record
+                column.append(None)
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        """Append several records."""
+        for record in records:
+            self.append(record)
+
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """New set holding this set's records followed by ``other``'s.
+
+        ``meta`` is taken from ``self`` (the merged-into side); persist the
+        merge to re-canonicalise record order.
+        """
+        merged = ResultSet(meta=self.meta)
+        merged.extend(self)
+        merged.extend(other)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # record access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._fields["experiment_id"])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def _record_at(self, index: int) -> RunRecord:
+        metrics = {
+            name: column[index]
+            for name, column in self._metrics.items()
+            if column[index] is not None
+        }
+        return RunRecord(
+            experiment_id=self._fields["experiment_id"][index],
+            heuristic=self._fields["heuristic"][index],
+            metatask_index=self._fields["metatask_index"][index],
+            repetition=self._fields["repetition"][index],
+            seed=self._fields["seed"][index],
+            config_hash=self._fields["config_hash"][index],
+            truncated=self._fields["truncated"][index],
+            metrics=metrics,
+            schema_version=self._fields["schema_version"][index],
+        )
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        for index in range(len(self)):
+            yield self._record_at(index)
+
+    @property
+    def records(self) -> List[RunRecord]:
+        """The records, materialised in storage order."""
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.records == other.records and self.meta == other.meta
+
+    def __repr__(self) -> str:
+        experiments = sorted(set(self._fields["experiment_id"]))
+        return f"<ResultSet {len(self)} records, experiments={experiments}>"
+
+    def column(self, name: str) -> List[Any]:
+        """One column by name — a key field or a metric (copied)."""
+        if name in self._fields:
+            return list(self._fields[name])
+        if name in self._metrics:
+            return list(self._metrics[name])
+        raise ResultsError(
+            f"unknown column {name!r}; fields: {list(_KEY_FIELDS)}, "
+            f"metrics: {self.metric_names()}"
+        )
+
+    def metric_names(self) -> List[str]:
+        """Metric column names in canonical order (extensions last, sorted)."""
+        known = [name for name in METRIC_FIELD_ORDER if name in self._metrics]
+        extras = sorted(name for name in self._metrics if name not in METRIC_FIELD_ORDER)
+        return known + extras
+
+    # ------------------------------------------------------------------ #
+    # query API
+    # ------------------------------------------------------------------ #
+    def filter(
+        self,
+        predicate: Optional[Callable[[RunRecord], bool]] = None,
+        **field_equals: Any,
+    ) -> "ResultSet":
+        """Records matching every ``field=value`` pair (and the predicate).
+
+        Field filters compare key-field columns without materialising
+        records; a ``predicate`` (record → bool), when given, is applied on
+        top.  Storage order is preserved.
+        """
+        for name in field_equals:
+            if name not in self._fields:
+                raise ResultsError(
+                    f"unknown filter field {name!r}; fields: {list(_KEY_FIELDS)}"
+                )
+        indices = range(len(self))
+        for name, wanted in field_equals.items():
+            column = self._fields[name]
+            indices = [i for i in indices if column[i] == wanted]
+        out = ResultSet(meta=self.meta)
+        for i in indices:
+            record = self._record_at(i)
+            if predicate is None or predicate(record):
+                out.append(record)
+        return out
+
+    def group_by(self, *fields: str) -> Dict[Any, "ResultSet"]:
+        """Partition by one or several key fields, first-seen group order.
+
+        Keys are scalars for a single field, tuples for several.
+        """
+        if not fields:
+            raise ResultsError("group_by needs at least one field")
+        for name in fields:
+            if name not in self._fields:
+                raise ResultsError(
+                    f"unknown group_by field {name!r}; fields: {list(_KEY_FIELDS)}"
+                )
+        groups: Dict[Any, ResultSet] = {}
+        columns = [self._fields[name] for name in fields]
+        for i in range(len(self)):
+            key = tuple(column[i] for column in columns)
+            if len(fields) == 1:
+                key = key[0]
+            groups.setdefault(key, ResultSet(meta=self.meta)).append(self._record_at(i))
+        return groups
+
+    def aggregate(
+        self, metric: str, by: Optional[Union[str, Sequence[str]]] = None
+    ) -> Union[Aggregate, Dict[Any, Aggregate]]:
+        """Mean/std/min/max of one metric (``None`` values are skipped).
+
+        Without ``by``: one :class:`~repro.metrics.aggregate.Aggregate` over
+        the whole set.  With ``by`` (a field or list of fields): a mapping
+        group key → aggregate, in first-seen group order.
+        """
+        if by is None:
+            if metric not in self._metrics:
+                raise ResultsError(
+                    f"unknown metric {metric!r}; metrics: {self.metric_names()}"
+                )
+            return aggregate_values(v for v in self._metrics[metric] if v is not None)
+        fields = (by,) if isinstance(by, str) else tuple(by)
+        return {
+            key: group.aggregate(metric)
+            for key, group in self.group_by(*fields).items()
+        }
+
+    def mean(self, metric: str) -> float:
+        """Shorthand: mean of one metric over the whole set."""
+        return self.aggregate(metric).mean
+
+    # ------------------------------------------------------------------ #
+    # pivot — the paper tables as a pure view over records
+    # ------------------------------------------------------------------ #
+    def pivot(
+        self,
+        rows: str = "metric",
+        cols: str = "heuristic",
+        metric: Optional[str] = None,
+        title: Optional[str] = None,
+        notes: Optional[Sequence[str]] = None,
+    ):
+        """Aggregate records into a :class:`~repro.experiments.runner.TableResult`.
+
+        The default ``pivot()`` (rows = the paper's metric rows, cols =
+        heuristic) reproduces today's result tables exactly: each cell is the
+        mean of one metric over the column's records, and the
+        ``"tasks finishing sooner than MCT"`` row appears for the columns
+        whose records carry a ``sooner`` count (i.e. every non-reference
+        heuristic).  ``title``/``notes`` default to the set's ``meta``.
+
+        With ``rows`` naming a key field instead of ``"metric"``, a generic
+        pivot is built: cell = mean of ``metric`` over the (row, col) group —
+        e.g. ``pivot(rows="experiment_id", cols="heuristic",
+        metric="sum_flow")`` for a sweep overview.
+        """
+        from ..experiments.runner import TableResult  # deferred: avoids an import cycle
+
+        if cols not in self._fields:
+            raise ResultsError(f"unknown pivot column field {cols!r}")
+        columns: Dict[str, Dict[str, float]] = {}
+        if rows == "metric":
+            for col_value, group in self.group_by(cols).items():
+                column: Dict[str, float] = {
+                    row: group.aggregate(summary_field).mean
+                    for row, summary_field in METRIC_ROW_TO_SUMMARY_FIELD.items()
+                }
+                sooner = [v for v in group._metrics.get(SOONER_METRIC, ()) if v is not None]
+                if sooner:
+                    column[SOONER_ROW] = aggregate_values(sooner).mean
+                columns[str(col_value)] = column
+        else:
+            if rows not in self._fields:
+                raise ResultsError(f"unknown pivot row field {rows!r}")
+            if metric is None:
+                raise ResultsError("a field-by-field pivot needs metric=<name>")
+            for col_value, col_group in self.group_by(cols).items():
+                columns[str(col_value)] = {
+                    str(row_value): row_group.aggregate(metric).mean
+                    for row_value, row_group in col_group.group_by(rows).items()
+                }
+        experiment_ids = sorted(set(self._fields["experiment_id"]))
+        return TableResult(
+            experiment_id=self.meta.get(
+                "experiment_id", experiment_ids[0] if len(experiment_ids) == 1 else "results"
+            ),
+            title=self.meta.get("title", "") if title is None else title,
+            columns=columns,
+            notes=list(self.meta.get("notes", ()) if notes is None else notes),
+            result_set=self,
+        )
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def sorted(self) -> "ResultSet":
+        """Copy in canonical record order (:attr:`RunRecord.sort_key`)."""
+        out = ResultSet(meta=self.meta)
+        out.extend(sorted(self, key=lambda record: record.sort_key))
+        return out
+
+    def to_jsonl(self) -> str:
+        """The JSONL serialisation: a header line, then one record per line.
+
+        Records are canonically ordered and every line is serialised with
+        sorted keys and exact (``repr``) float text, so equal record sets
+        produce byte-equal output whatever order they were accumulated in.
+        """
+        header = {
+            "format": _JSONL_FORMAT,
+            "schema_version": SCHEMA_VERSION,
+            "meta": self.meta,
+            "count": len(self),
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for record in self.sorted():
+            lines.append(
+                json.dumps(record.to_json_dict(), sort_keys=True, separators=(",", ":"))
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ResultSet":
+        """Parse :meth:`to_jsonl` output (rejecting future schema versions)."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ResultsError("empty results file (missing JSONL header line)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ResultsError(f"malformed JSONL header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != _JSONL_FORMAT:
+            raise ResultsError(
+                "not a repro results file (first line must be the "
+                f"{_JSONL_FORMAT!r} header)"
+            )
+        version = header.get("schema_version")
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise ResultsError(
+                f"results file written by schema version {version!r}, this "
+                f"library reads up to {SCHEMA_VERSION} — upgrade repro to load it"
+            )
+        out = cls(meta=header.get("meta") or {})
+        for number, line in enumerate(lines[1:], start=2):
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ResultsError(f"malformed record on line {number}: {exc}") from exc
+            out.append(RunRecord.from_json_dict(data))
+        count = header.get("count")
+        if isinstance(count, int) and count != len(out):
+            # A partially-written file (interrupted save, disk full) must not
+            # load silently with records missing.
+            raise ResultsError(
+                f"truncated results file: header announces {count} record(s) "
+                f"but {len(out)} were read"
+            )
+        return out
+
+    def to_csv(self) -> str:
+        """The CSV serialisation (records only — ``meta`` is JSONL-only).
+
+        Same canonical ordering and float formatting guarantees as
+        :meth:`to_jsonl`; metric cells that do not apply are left empty.
+        """
+        metric_names = self.metric_names()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(list(_KEY_FIELDS) + metric_names)
+        for record in self.sorted():
+            row = [_format_cell(getattr(record, name)) for name in _KEY_FIELDS]
+            row += [_format_cell(record.metric(name)) for name in metric_names]
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "ResultSet":
+        """Parse :meth:`to_csv` output (rejecting future schema versions)."""
+        reader = csv.reader(io.StringIO(text))
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ResultsError("empty results CSV (missing header row)") from None
+        missing = [name for name in _KEY_FIELDS if name not in header]
+        if missing:
+            raise ResultsError(f"results CSV is missing key columns: {missing}")
+        metric_names = [name for name in header if name not in _KEY_FIELDS]
+        out = cls()
+        for number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            cells = dict(zip(header, row))
+            try:
+                version = int(cells["schema_version"])
+                if version > SCHEMA_VERSION:
+                    raise ResultsError(
+                        f"results CSV written by schema version {version}, this "
+                        f"library reads up to {SCHEMA_VERSION} — upgrade repro to load it"
+                    )
+                out.append(
+                    RunRecord(
+                        experiment_id=cells["experiment_id"],
+                        heuristic=cells["heuristic"],
+                        metatask_index=int(cells["metatask_index"]),
+                        repetition=int(cells["repetition"]),
+                        seed=int(cells["seed"]),
+                        config_hash=cells["config_hash"],
+                        truncated=cells["truncated"] == "true",
+                        metrics={
+                            name: float(cells[name])
+                            for name in metric_names
+                            if cells.get(name, "") != ""
+                        },
+                        schema_version=version,
+                    )
+                )
+            except ResultsError:
+                raise
+            except (KeyError, ValueError) as exc:
+                raise ResultsError(f"malformed CSV record on line {number}: {exc}") from exc
+        return out
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> str:
+        """Write the set to ``path``; the extension picks the format.
+
+        ``.jsonl`` / ``.json`` → JSONL with the meta header; ``.csv`` → CSV
+        (records only).  Returns the path written.
+        """
+        path = os.fspath(path)
+        text = self._serialise_for(path)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+        return path
+
+    def _serialise_for(self, path: str) -> str:
+        extension = os.path.splitext(path)[1].lower()
+        if extension in (".jsonl", ".json"):
+            return self.to_jsonl()
+        if extension == ".csv":
+            return self.to_csv()
+        raise ResultsError(
+            f"cannot infer results format from {path!r}; use a .jsonl or .csv extension"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "ResultSet":
+        """Load a set saved by :meth:`save` (format from the extension)."""
+        path = os.fspath(path)
+        extension = os.path.splitext(path)[1].lower()
+        if extension in (".jsonl", ".json"):
+            parser = cls.from_jsonl
+        elif extension == ".csv":
+            parser = cls.from_csv
+        else:
+            raise ResultsError(
+                f"cannot infer results format from {path!r}; use a .jsonl or .csv extension"
+            )
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            return parser(handle.read())

@@ -13,9 +13,11 @@ general scheduling-scenario lab:
 * :data:`SCENARIO_REGISTRY` names the stock regimes (``paper-low-rate``,
   ``burst-storm``, ``diurnal-week``, ``hetero-farm-16``, ``flaky-servers``,
   ...), runnable via ``repro scenario run <name>``;
-* :func:`sweep_scenarios` (:mod:`repro.scenarios.sweep`) runs a heuristic ×
+* :func:`run_sweep` (:mod:`repro.scenarios.sweep`) runs a heuristic ×
   scenario grid through the campaign engine and ranks the heuristics per
-  regime — byte-identical at any ``--jobs`` level.
+  regime — byte-identical at any ``--jobs`` level, with every run's record
+  collected into one persistable :class:`~repro.results.ResultSet`
+  (``sweep_scenarios`` is the deprecated alias).
 """
 
 from .platforms import homogeneous_farm, power_law_farm, replicated_paper_farm
@@ -28,7 +30,7 @@ from .scenario import (
     scenario_names,
     scenario_seed_offset,
 )
-from .sweep import ScenarioSweepResult, sweep_scenarios
+from .sweep import ScenarioSweepResult, run_sweep, sweep_scenarios
 
 __all__ = [
     "Scenario",
@@ -39,6 +41,7 @@ __all__ = [
     "build_scenario_metatasks",
     "run_scenario",
     "ScenarioSweepResult",
+    "run_sweep",
     "sweep_scenarios",
     "homogeneous_farm",
     "power_law_farm",

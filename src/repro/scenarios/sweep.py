@@ -7,21 +7,32 @@ inherited from :func:`repro.scenarios.scenario.run_scenario`: each scenario's
 cell seeds derive from ``(scenario CRC, metatask, repetition)`` coordinates,
 so ``--jobs 1`` and ``--jobs 64`` render byte-identical reports, and the
 sweep's result is independent of the order scenarios are listed in.
+
+Every per-scenario run contributes its provenance-stamped records to one
+combined :class:`~repro.results.ResultSet`
+(``ScenarioSweepResult.result_set``) — persist it with
+``result_set.save("sweep.jsonl")`` and every per-scenario table re-renders
+from the loaded records.
+
+The documented entry point is :func:`repro.api.sweep`;
+:func:`sweep_scenarios` remains as a deprecated alias.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
 
 from ..errors import ExperimentError
 from ..experiments.campaign import METRIC_ROW_TO_SUMMARY_FIELD
 from ..experiments.config import ExperimentConfig, FULL_SCALE
 from ..metrics.comparison import cross_scenario_ranking, rank_heuristics
 from ..metrics.report import render_markdown_table, render_table
+from ..results import CampaignObserver, ResultSet
 from .scenario import get_scenario, run_scenario, scenario_names
 
-__all__ = ["ScenarioSweepResult", "sweep_scenarios"]
+__all__ = ["ScenarioSweepResult", "run_sweep", "sweep_scenarios"]
 
 #: Metric rows every campaign table produces — the valid ranking tie-breaks
 #: ("completed tasks" dominates the ranking and is not itself a tie-break).
@@ -36,12 +47,14 @@ class ScenarioSweepResult:
 
     ``tables`` maps scenario name → the scenario's ``TableResult``;
     ``ranking`` maps heuristic → {scenario: ``"#rank (metric value)"``} and is
-    the cross-scenario summary rendered by :meth:`render`.
+    the cross-scenario summary rendered by :meth:`render`; ``result_set``
+    holds every scenario's run records in one persistable set.
     """
 
     metric: str
     tables: Dict[str, object] = field(default_factory=dict)
     ranking: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    result_set: Optional[ResultSet] = None
 
     def best_per_scenario(self) -> Dict[str, str]:
         """The winning heuristic of every scenario (rank #1)."""
@@ -77,11 +90,12 @@ class ScenarioSweepResult:
         return self.render()
 
 
-def sweep_scenarios(
+def run_sweep(
     names: Optional[Sequence[str]] = None,
     config: Optional[ExperimentConfig] = None,
     jobs: Optional[int] = None,
     metric: str = "sumflow",
+    observers: Sequence[CampaignObserver] = (),
 ) -> ScenarioSweepResult:
     """Run scenarios (all registered ones by default) and rank the heuristics.
 
@@ -89,6 +103,9 @@ def sweep_scenarios(
     engine fans its cells out over ``jobs`` workers.  Every scenario is seeded
     independently of the sweep composition, so sweeping a subset reproduces
     exactly the numbers of the full sweep's corresponding rows.
+
+    ``observers`` stream every cell completion of every scenario (on top of
+    any observers already attached to ``config.observers``).
     """
     names = list(names) if names is not None else scenario_names()
     if not names:
@@ -103,13 +120,47 @@ def sweep_scenarios(
             f"unknown ranking metric {metric!r}; available: {sorted(_RANKABLE_METRICS)}"
         )
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
+    if observers:
+        config = replace(config, observers=tuple(config.observers) + tuple(observers))
 
-    result = ScenarioSweepResult(metric=metric)
+    combined = ResultSet(
+        meta={
+            "experiment_id": "scenario-sweep",
+            "title": f"Scenario sweep — {len(names)} scenario(s), ranked by {metric}",
+            "metric": metric,
+            "scenarios": names,
+            "scale": config.scale.name,
+            "seed": config.seed,
+        }
+    )
+    result = ScenarioSweepResult(metric=metric, result_set=combined)
     for name in names:
         scenario = get_scenario(name)  # fail fast on typos, before hours of runs
-        result.tables[name] = run_scenario(scenario, config=config, jobs=jobs)
+        table = run_scenario(scenario, config=config, jobs=jobs)
+        result.tables[name] = table
+        combined.extend(table.result_set)
     result.ranking = cross_scenario_ranking(
         {name: table.columns for name, table in result.tables.items()},
         metric=metric,
     )
     return result
+
+
+def sweep_scenarios(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+    jobs: Optional[int] = None,
+    metric: str = "sumflow",
+) -> ScenarioSweepResult:
+    """Deprecated alias of :func:`run_sweep`.
+
+    .. deprecated:: 1.1
+        Call :func:`repro.api.sweep` (or :func:`run_sweep`) instead; the
+        return value is identical, record for record.
+    """
+    warnings.warn(
+        "sweep_scenarios() is deprecated; use repro.api.sweep() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_sweep(names=names, config=config, jobs=jobs, metric=metric)

@@ -162,11 +162,12 @@ class TestDeterminism:
                 sorted(t.completion_time for t in r.tasks if t.completed) for r in runs_b
             ]
 
-    def test_run_table_experiment_delegates_to_the_campaign_engine(self):
+    def test_run_table_experiment_is_a_deprecated_delegating_shim(self):
         config = tiny_config()
         platform = first_set_platform()
         metatask = tiny_metatask()
-        via_runner = run_table_experiment("t", "t", platform, [metatask], config)
+        with pytest.warns(DeprecationWarning, match="run_table_experiment"):
+            via_runner = run_table_experiment("t", "t", platform, [metatask], config)
         via_campaign = run_campaign("t", "t", platform, [metatask], config)
         assert via_runner.columns == via_campaign.columns
 
@@ -174,8 +175,8 @@ class TestDeterminism:
         config = tiny_config(jobs=2)
         platform = first_set_platform()
         metatask = tiny_metatask()
-        parallel = run_table_experiment("t", "t", platform, [metatask], config)
-        serial = run_table_experiment("t", "t", platform, [metatask], config.with_jobs(1))
+        parallel = run_campaign("t", "t", platform, [metatask], config)
+        serial = run_campaign("t", "t", platform, [metatask], config.with_jobs(1))
         assert parallel.columns == serial.columns
 
     def test_custom_executor_is_pluggable(self):

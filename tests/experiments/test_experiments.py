@@ -17,7 +17,7 @@ from repro.experiments import (
     table1_metatasks,
 )
 from repro.experiments.config import FULL_SCALE, HIGH_RATE_MEAN_S, LOW_RATE_MEAN_S, SMOKE_SCALE
-from repro.experiments.runner import run_table_experiment
+from repro.experiments.campaign import run_campaign
 from repro.experiments.validation import TABLE1_METATASK_A, TABLE1_METATASK_B
 from repro.platform.faults import SpeedNoiseModel
 from repro.workload.testbed import first_set_platform, matmul_metatask
@@ -114,7 +114,7 @@ class TestTableRunner:
             seed=42,
         )
         metatask = matmul_metatask(50, 20.0, rng=__import__("numpy").random.default_rng(42))
-        return run_table_experiment(
+        return run_campaign(
             "test-table", "a small table", first_set_platform(), [metatask], config
         )
 

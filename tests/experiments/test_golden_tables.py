@@ -133,6 +133,28 @@ class TestGoldenTables:
         table = run_experiment("table5", golden_config(), jobs=4)
         assert_matches_golden(table, TABLE5_GOLDEN)
 
+    def test_goldens_are_pure_views_over_run_records(self, table5, table6):
+        """Acceptance criterion of the unified results API: the golden
+        columns reproduce unchanged when re-pivoted from the run records."""
+        for table, golden in ((table5, TABLE5_GOLDEN), (table6, TABLE6_GOLDEN)):
+            assert table.result_set is not None
+            assert_matches_golden(table.result_set.pivot(), golden)
+
+    def test_goldens_survive_a_jsonl_round_trip(self, table5, table6, tmp_path):
+        """Acceptance criterion: a saved-then-loaded ResultSet renders the
+        byte-identical golden table."""
+        from repro.results import ResultSet
+
+        for name, table, golden in (
+            ("table5", table5, TABLE5_GOLDEN),
+            ("table6", table6, TABLE6_GOLDEN),
+        ):
+            path = tmp_path / f"{name}.jsonl"
+            table.result_set.save(path)
+            loaded = ResultSet.load(path)
+            assert_matches_golden(loaded.pivot(), golden)
+            assert loaded.pivot().render() == table.render()
+
     def test_goldens_preserve_the_papers_ordering_claims(self, table5, table6):
         """Cross-check: the snapshots themselves exhibit the paper's shape
         (HTM heuristics beat MCT on sum-flow; MSF has the lowest max-flow)."""

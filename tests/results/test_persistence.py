@@ -1,0 +1,144 @@
+"""Persistence tests: versioned JSONL/CSV round-trips and byte-determinism."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ResultsError
+from repro.experiments import ExperimentConfig, ExperimentScale, run_campaign
+from repro.results import SCHEMA_VERSION, ResultSet
+from repro.workload.testbed import first_set_platform, matmul_metatask
+
+from test_resultset import make_record
+
+
+def small_campaign(jobs: int = 1):
+    config = ExperimentConfig(
+        scale=ExperimentScale(
+            name="persist", task_count=10, metatask_count=2, repetitions=2
+        ),
+        seed=2003,
+        jobs=jobs,
+    )
+    metatasks = [
+        matmul_metatask(10, 20.0, rng=np.random.default_rng(2003 + i), name=f"persist-m{i}")
+        for i in range(2)
+    ]
+    return run_campaign(
+        "persist-test", "persistence test table", first_set_platform(), metatasks, config
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_table():
+    return small_campaign()
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_records_and_meta(self, campaign_table):
+        result_set = campaign_table.result_set
+        loaded = ResultSet.from_jsonl(result_set.to_jsonl())
+        assert loaded.records == result_set.sorted().records
+        assert loaded.meta == result_set.meta
+
+    def test_round_trip_through_a_file(self, campaign_table, tmp_path):
+        path = tmp_path / "results.jsonl"
+        campaign_table.result_set.save(path)
+        loaded = ResultSet.load(path)
+        assert loaded == campaign_table.result_set.sorted()
+
+    def test_loaded_records_render_the_identical_table(self, campaign_table, tmp_path):
+        path = tmp_path / "results.jsonl"
+        campaign_table.result_set.save(path)
+        assert ResultSet.load(path).pivot().render() == campaign_table.render()
+
+    def test_float_values_round_trip_exactly(self, campaign_table):
+        originals = {r.sort_key: r.metrics for r in campaign_table.result_set}
+        for record in ResultSet.from_jsonl(campaign_table.result_set.to_jsonl()):
+            assert dict(record.metrics) == dict(originals[record.sort_key])
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_records(self, campaign_table):
+        result_set = campaign_table.result_set
+        loaded = ResultSet.from_csv(result_set.to_csv())
+        assert loaded.records == result_set.sorted().records
+
+    def test_round_trip_through_a_file(self, campaign_table, tmp_path):
+        path = tmp_path / "results.csv"
+        campaign_table.result_set.save(path)
+        loaded = ResultSet.load(path)
+        assert loaded.records == campaign_table.result_set.sorted().records
+        assert loaded.pivot().columns == campaign_table.columns
+
+
+class TestSchemaVersioning:
+    def test_jsonl_header_from_the_future_is_rejected(self, campaign_table):
+        lines = campaign_table.result_set.to_jsonl().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = SCHEMA_VERSION + 1
+        doctored = "\n".join([json.dumps(header)] + lines[1:])
+        with pytest.raises(ResultsError, match="schema version"):
+            ResultSet.from_jsonl(doctored)
+
+    def test_jsonl_record_from_the_future_is_rejected(self):
+        result_set = ResultSet([make_record()])
+        text = result_set.to_jsonl().replace(
+            f'"schema_version":{SCHEMA_VERSION}', f'"schema_version":{SCHEMA_VERSION + 1}'
+        )
+        with pytest.raises(ResultsError, match="schema version"):
+            ResultSet.from_jsonl(text)
+
+    def test_csv_from_the_future_is_rejected(self):
+        # schema_version sits right after the ``truncated`` column.
+        text = ResultSet([make_record()]).to_csv().replace(
+            f"false,{SCHEMA_VERSION}", f"false,{SCHEMA_VERSION + 1}"
+        )
+        with pytest.raises(ResultsError, match="schema version"):
+            ResultSet.from_csv(text)
+
+    def test_truncated_jsonl_files_are_rejected(self, campaign_table):
+        """A partially-written file (interrupted save) must fail loudly, not
+        load a plausible-looking subset."""
+        lines = campaign_table.result_set.to_jsonl().splitlines()
+        truncated = "\n".join(lines[:3]) + "\n"  # header + 2 of 16 records
+        with pytest.raises(ResultsError, match="truncated results file"):
+            ResultSet.from_jsonl(truncated)
+
+    def test_non_results_files_are_rejected(self):
+        with pytest.raises(ResultsError, match="not a repro results file"):
+            ResultSet.from_jsonl('{"something": "else"}\n')
+        with pytest.raises(ResultsError, match="empty"):
+            ResultSet.from_jsonl("")
+
+    def test_unknown_extension_is_rejected(self, tmp_path):
+        with pytest.raises(ResultsError, match="extension"):
+            ResultSet([make_record()]).save(tmp_path / "results.xml")
+        with pytest.raises(ResultsError, match="extension"):
+            ResultSet.load(tmp_path / "results.xml")
+
+
+class TestByteDeterminism:
+    def test_jobs_1_and_jobs_4_save_byte_identical_files(self, campaign_table, tmp_path):
+        """The flagship determinism guarantee of the persistence layer."""
+        parallel = small_campaign(jobs=4)
+        path_serial = tmp_path / "serial.jsonl"
+        path_parallel = tmp_path / "parallel.jsonl"
+        campaign_table.result_set.save(path_serial)
+        parallel.result_set.save(path_parallel)
+        assert path_serial.read_bytes() == path_parallel.read_bytes()
+
+        csv_serial = tmp_path / "serial.csv"
+        csv_parallel = tmp_path / "parallel.csv"
+        campaign_table.result_set.save(csv_serial)
+        parallel.result_set.save(csv_parallel)
+        assert csv_serial.read_bytes() == csv_parallel.read_bytes()
+
+    def test_serialisation_is_independent_of_accumulation_order(self, campaign_table):
+        result_set = campaign_table.result_set
+        reversed_set = ResultSet(reversed(result_set.records), meta=result_set.meta)
+        assert reversed_set.to_jsonl() == result_set.to_jsonl()
+        assert reversed_set.to_csv() == result_set.to_csv()

@@ -1,0 +1,214 @@
+"""Tests of the columnar ResultSet: schema, query API and pivot views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResultsError
+from repro.experiments import ExperimentConfig, ExperimentScale, run_campaign
+from repro.metrics.aggregate import Aggregate
+from repro.results import (
+    METRIC_ROW_TO_SUMMARY_FIELD,
+    SCHEMA_VERSION,
+    SOONER_ROW,
+    ResultSet,
+    RunRecord,
+    config_fingerprint,
+)
+from repro.workload.testbed import first_set_platform, matmul_metatask
+
+
+def make_record(
+    experiment_id: str = "exp",
+    heuristic: str = "mct",
+    metatask_index: int = 0,
+    repetition: int = 0,
+    seed: int = 42,
+    sooner: float = None,
+    **metric_overrides,
+) -> RunRecord:
+    metrics = {
+        "n_completed": 25.0,
+        "makespan": 100.0,
+        "sum_flow": 500.0,
+        "max_flow": 50.0,
+        "max_stretch": 2.0,
+        "mean_flow": 20.0,
+        "mean_stretch": 1.5,
+    }
+    metrics.update(metric_overrides)
+    if sooner is not None:
+        metrics["sooner"] = sooner
+    return RunRecord(
+        experiment_id=experiment_id,
+        heuristic=heuristic,
+        metatask_index=metatask_index,
+        repetition=repetition,
+        seed=seed,
+        config_hash="abc123def456",
+        metrics=metrics,
+    )
+
+
+def tiny_table(jobs: int = 1, repetitions: int = 1, experiment_id: str = "rs-test"):
+    config = ExperimentConfig(
+        scale=ExperimentScale(
+            name="tiny", task_count=20, metatask_count=1, repetitions=repetitions
+        ),
+        seed=2003,
+        jobs=jobs,
+    )
+    metatask = matmul_metatask(20, 20.0, rng=np.random.default_rng(2003), name="rs-test")
+    return run_campaign(
+        experiment_id, "a tiny table", first_set_platform(), [metatask], config
+    )
+
+
+class TestRunRecord:
+    def test_sort_key_is_the_canonical_coordinate_tuple(self):
+        record = make_record("table5", "msf", 2, 1)
+        assert record.sort_key == ("table5", "msf", 2, 1)
+
+    def test_json_dict_round_trip(self):
+        record = make_record(sooner=12.0)
+        assert RunRecord.from_json_dict(record.to_json_dict()) == record
+
+    def test_future_schema_version_is_rejected(self):
+        data = make_record().to_json_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ResultsError, match="schema version"):
+            RunRecord.from_json_dict(data)
+
+    def test_config_fingerprint_ignores_execution_only_knobs(self):
+        config = ExperimentConfig(seed=2003)
+        assert config_fingerprint(config) == config_fingerprint(config.with_jobs(8))
+
+    def test_config_fingerprint_tracks_number_determining_fields(self):
+        config = ExperimentConfig(seed=2003)
+        assert config_fingerprint(config) != config_fingerprint(config.with_seed(7))
+
+
+class TestResultSetBasics:
+    def test_append_iter_and_records(self):
+        records = [make_record(heuristic=h) for h in ("mct", "msf")]
+        result_set = ResultSet(records)
+        assert len(result_set) == 2
+        assert result_set.records == records
+        assert list(result_set) == records
+
+    def test_metric_columns_stay_aligned_across_sparse_metrics(self):
+        result_set = ResultSet(
+            [make_record(heuristic="mct"), make_record(heuristic="msf", sooner=9.0)]
+        )
+        assert result_set.column("sooner") == [None, 9.0]
+        assert result_set.records[0].metric("sooner") is None
+
+    def test_column_rejects_unknown_names(self):
+        with pytest.raises(ResultsError, match="unknown column"):
+            ResultSet([make_record()]).column("nope")
+
+    def test_merge_concatenates_and_keeps_left_meta(self):
+        a = ResultSet([make_record(repetition=0)], meta={"title": "a"})
+        b = ResultSet([make_record(repetition=1)], meta={"title": "b"})
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.meta == {"title": "a"}
+
+
+class TestQueryApi:
+    def test_filter_by_field_equality(self):
+        result_set = ResultSet(
+            [make_record(heuristic=h, repetition=r) for h in ("mct", "msf") for r in (0, 1)]
+        )
+        msf = result_set.filter(heuristic="msf")
+        assert len(msf) == 2
+        assert set(msf.column("heuristic")) == {"msf"}
+
+    def test_filter_with_predicate(self):
+        result_set = ResultSet([make_record(repetition=r) for r in range(4)])
+        odd = result_set.filter(lambda record: record.repetition % 2 == 1)
+        assert [r.repetition for r in odd] == [1, 3]
+
+    def test_filter_rejects_unknown_field(self):
+        with pytest.raises(ResultsError, match="unknown filter field"):
+            ResultSet([make_record()]).filter(flavour="mint")
+
+    def test_group_by_single_and_multiple_fields(self):
+        result_set = ResultSet(
+            [make_record(heuristic=h, metatask_index=m) for h in ("mct", "msf") for m in (0, 1)]
+        )
+        by_heuristic = result_set.group_by("heuristic")
+        assert list(by_heuristic) == ["mct", "msf"]
+        assert all(len(group) == 2 for group in by_heuristic.values())
+        by_pair = result_set.group_by("heuristic", "metatask_index")
+        assert list(by_pair) == [("mct", 0), ("mct", 1), ("msf", 0), ("msf", 1)]
+
+    def test_aggregate_whole_set_and_grouped(self):
+        result_set = ResultSet(
+            [
+                make_record(heuristic="mct", sum_flow=100.0),
+                make_record(heuristic="mct", repetition=1, sum_flow=200.0),
+                make_record(heuristic="msf", sum_flow=60.0),
+            ]
+        )
+        overall = result_set.aggregate("sum_flow")
+        assert isinstance(overall, Aggregate)
+        assert overall.mean == pytest.approx(120.0)
+        grouped = result_set.aggregate("sum_flow", by="heuristic")
+        assert grouped["mct"].mean == pytest.approx(150.0)
+        assert grouped["msf"].n == 1
+        assert result_set.mean("sum_flow") == pytest.approx(120.0)
+
+    def test_aggregate_skips_inapplicable_values(self):
+        result_set = ResultSet(
+            [make_record(heuristic="mct"), make_record(heuristic="msf", sooner=10.0)]
+        )
+        assert result_set.aggregate("sooner").n == 1
+
+    def test_aggregate_rejects_unknown_metric(self):
+        with pytest.raises(ResultsError, match="unknown metric"):
+            ResultSet([make_record()]).aggregate("nope")
+
+
+class TestPivot:
+    def test_campaign_table_is_a_pure_pivot_view(self):
+        """The acceptance-criterion invariant: ``table.columns`` equals the
+        pivot of the records the campaign streamed."""
+        table = tiny_table()
+        assert table.result_set is not None
+        assert table.result_set.pivot().columns == table.columns
+
+    def test_paper_pivot_rows_and_sooner_row(self):
+        table = tiny_table()
+        columns = table.result_set.pivot().columns
+        for heuristic, column in columns.items():
+            assert set(METRIC_ROW_TO_SUMMARY_FIELD) <= set(column)
+            if heuristic == "mct":
+                assert SOONER_ROW not in column
+            else:
+                assert SOONER_ROW in column
+
+    def test_pivot_render_matches_table_render(self):
+        table = tiny_table()
+        assert table.result_set.pivot().render() == table.render()
+
+    def test_generic_pivot_by_fields(self):
+        result_set = ResultSet(
+            [
+                make_record("exp-a", "mct", sum_flow=100.0),
+                make_record("exp-b", "mct", sum_flow=300.0),
+                make_record("exp-a", "msf", sum_flow=80.0),
+            ]
+        )
+        table = result_set.pivot(rows="experiment_id", cols="heuristic", metric="sum_flow")
+        assert table.columns["mct"] == {"exp-a": 100.0, "exp-b": 300.0}
+        assert table.columns["msf"] == {"exp-a": 80.0}
+
+    def test_generic_pivot_requires_a_metric(self):
+        with pytest.raises(ResultsError, match="metric"):
+            ResultSet([make_record()]).pivot(rows="experiment_id")
+
+    def test_pivot_rejects_unknown_fields(self):
+        with pytest.raises(ResultsError, match="unknown pivot"):
+            ResultSet([make_record()]).pivot(cols="flavour")

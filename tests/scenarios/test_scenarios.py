@@ -18,7 +18,7 @@ from repro.scenarios import (
     run_scenario,
     scenario_names,
     scenario_seed_offset,
-    sweep_scenarios,
+    run_sweep,
 )
 from repro.workload.arrivals import PoissonArrivals
 from repro.workload.testbed import first_set_platform
@@ -150,11 +150,11 @@ class TestDeterminism:
     def test_sweep_is_byte_identical_across_jobs_and_subset_stable(self):
         config = tiny_config(task_count=12)
         names = ["paper-low-rate", "flaky-servers"]
-        serial = sweep_scenarios(names, config=config, jobs=1)
-        parallel = sweep_scenarios(names, config=config, jobs=2)
+        serial = run_sweep(names, config=config, jobs=1)
+        parallel = run_sweep(names, config=config, jobs=2)
         assert serial.render() == parallel.render()
         # sweeping a subset reproduces the full sweep's corresponding table
-        solo = sweep_scenarios(["flaky-servers"], config=config, jobs=1)
+        solo = run_sweep(["flaky-servers"], config=config, jobs=1)
         assert solo.tables["flaky-servers"].columns == serial.tables["flaky-servers"].columns
 
 
@@ -162,7 +162,7 @@ class TestSweep:
     def test_sweep_produces_ranking_for_every_scenario(self):
         config = tiny_config(task_count=10)
         names = ["paper-low-rate", "homog-farm-8"]
-        sweep = sweep_scenarios(names, config=config)
+        sweep = run_sweep(names, config=config)
         assert set(sweep.tables) == set(names)
         for heuristic, row in sweep.ranking.items():
             assert set(row) == set(names)
@@ -175,13 +175,13 @@ class TestSweep:
 
     def test_sweep_rejects_unknown_metric_before_running_anything(self):
         with pytest.raises(ExperimentError, match="unknown ranking metric"):
-            sweep_scenarios(["paper-low-rate"], config=tiny_config(), metric="sum_flow")
+            run_sweep(["paper-low-rate"], config=tiny_config(), metric="sum_flow")
 
     def test_sweep_rejects_duplicates_and_empty(self):
         with pytest.raises(ExperimentError, match="duplicate"):
-            sweep_scenarios(["paper-low-rate", "paper-low-rate"], config=tiny_config())
+            run_sweep(["paper-low-rate", "paper-low-rate"], config=tiny_config())
         with pytest.raises(ExperimentError, match="at least one"):
-            sweep_scenarios([], config=tiny_config())
+            run_sweep([], config=tiny_config())
 
 
 class TestScenarioCli:
@@ -257,6 +257,22 @@ class TestRankingHelpers:
             "a": {"completed tasks": 10.0, "sumflow": 5.0},
         }
         assert rank_heuristics(columns) == ["a", "b"]
+
+    def test_ranking_is_a_total_order_independent_of_insertion_order(self):
+        """The documented ordering contract: completed desc, metric asc, name
+        asc — the same ranking whatever order the mapping was built in."""
+        import itertools
+
+        columns = {
+            "c": {"completed tasks": 10.0, "sumflow": 5.0},
+            "a": {"completed tasks": 10.0, "sumflow": 5.0},
+            "b": {"completed tasks": 10.0, "sumflow": 4.0},
+            "d": {"completed tasks": 9.0, "sumflow": 1.0},
+        }
+        expected = ["b", "a", "c", "d"]
+        for order in itertools.permutations(columns):
+            shuffled = {name: columns[name] for name in order}
+            assert rank_heuristics(shuffled, metric="sumflow") == expected
 
     def test_rank_missing_metric_raises(self):
         with pytest.raises(KeyError):
