@@ -1,0 +1,115 @@
+"""Benchmarks of the campaign store: cache speedup and journaling overhead.
+
+Three questions, one bench each:
+
+* how much does journaling cost a *cold* sweep?  (``bench_store_cold_sweep``
+  measures the store-attached run and reports the storeless baseline and the
+  overhead ratio in ``extra_info`` — the target is <5 % on cold runs);
+* how fast is a *warm* sweep?  (``bench_store_warm_sweep`` replays the same
+  sweep against a populated store: zero simulations, pure journal reads);
+* what does one durable journal append cost?  (``bench_journal_append``, the
+  per-cell WAL price paid while a campaign streams results).
+
+Shape assertions keep the benches honest: the warm sweep must recover every
+cell from the journal and render identically to the cold run.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.experiments.config import ExperimentConfig, ExperimentScale
+from repro.results import RunRecord
+from repro.scenarios import run_sweep
+from repro.store import CampaignStore, CellEntry, CellKey
+from repro.store.journal import Journal
+
+#: Same reduced size as bench_scenarios: campaign overheads negligible,
+#: CI-smoke friendly.
+_BENCH_STORE_SCALE = ExperimentScale(
+    name="bench-store", task_count=60, metatask_count=1, repetitions=1
+)
+
+_SWEEP = ["paper-low-rate", "flaky-servers"]
+
+
+def _config() -> ExperimentConfig:
+    return ExperimentConfig(scale=_BENCH_STORE_SCALE, seed=2003)
+
+
+def bench_store_cold_sweep(benchmark):
+    """A cold two-scenario sweep with the journal attached (vs storeless)."""
+    # Storeless baseline, measured once alongside the benched run.
+    t0 = time.perf_counter()
+    baseline = run_sweep(_SWEEP, config=_config())
+    baseline_s = time.perf_counter() - t0
+
+    state = {}
+
+    def setup():
+        state["dir"] = tempfile.mkdtemp(prefix="repro-bench-store-")
+
+    def run():
+        try:
+            return run_sweep(_SWEEP, config=_config(), store=state["dir"])
+        finally:
+            shutil.rmtree(state["dir"], ignore_errors=True)
+
+    cold = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert cold.render() == baseline.render()
+    cold_s = benchmark.stats.stats.mean
+    benchmark.extra_info["baseline_no_store_s"] = round(baseline_s, 4)
+    benchmark.extra_info["journal_overhead_ratio"] = round(cold_s / baseline_s, 4)
+    # The WAL must stay in the noise next to the simulations (<5 % target;
+    # the assert only catches pathological regressions, not CI jitter).
+    assert cold_s < 2.0 * baseline_s, (
+        f"journaling made the cold sweep {cold_s / baseline_s:.2f}x slower"
+    )
+
+
+def bench_store_warm_sweep(benchmark):
+    """The same sweep against a fully populated store: zero simulations."""
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        cold = run_sweep(_SWEEP, config=_config(), store=store_dir)
+
+        def run():
+            return run_sweep(_SWEEP, config=_config(), store=store_dir)
+
+        warm = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert warm.render() == cold.render()
+        # Every cell must have come from the journal.
+        store = CampaignStore(store_dir)
+        assert len(store) == len(cold.result_set)
+        benchmark.extra_info["cells_recovered_per_run"] = len(cold.result_set)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+def bench_journal_append(benchmark):
+    """One durable (flush + fsync) journal append — the per-cell WAL price."""
+    directory = tempfile.mkdtemp(prefix="repro-bench-journal-")
+    key = CellKey(
+        config_hash="bench", experiment_id="bench", heuristic="mct",
+        metatask_index=0, repetition=0, seed=2003,
+    )
+    entry = CellEntry(
+        key=key,
+        record=RunRecord(
+            experiment_id="bench", heuristic="mct", metatask_index=0,
+            repetition=0, seed=2003, config_hash="bench",
+            metrics={"n_completed": 60.0, "sum_flow": 1234.5678},
+        ),
+        completions={f"task-{i:04d}": float(i) * 1.25 for i in range(60)},
+    ).to_json_dict()
+    journal = Journal(f"{directory}/journal.jsonl")
+    try:
+        benchmark(journal.append, entry)
+        journal.close()
+        entries, torn = journal.recover()
+        assert not torn and len(entries) >= 1
+    finally:
+        journal.close()
+        shutil.rmtree(directory, ignore_errors=True)

@@ -45,6 +45,7 @@ from .core import (
 from .errors import ReproError
 from .metrics import summarize, tasks_finishing_sooner
 from .results import ResultSet, RunRecord
+from .store import CampaignStore, open_store
 from .platform import (
     Agent,
     ComputeServer,
@@ -112,4 +113,7 @@ __all__ = [
     "api",
     "ResultSet",
     "RunRecord",
+    # campaign store
+    "CampaignStore",
+    "open_store",
 ]

@@ -1,14 +1,19 @@
 """The stable programmatic facade of the reproduction.
 
-Four entry points cover the whole results lifecycle — everything else in the
-library is implementation detail that may move between minor versions:
+A handful of entry points cover the whole results lifecycle — everything
+else in the library is implementation detail that may move between minor
+versions:
 
 * :func:`run` — run any registered experiment (``table5`` ... ``table8``,
   the validation, the ablations, scenario sweeps) at any scale / seed /
   parallelism and get its result object back; table experiments carry their
-  full provenance-stamped record set on ``result.result_set``.
+  full provenance-stamped record set on ``result.result_set``.  Pass
+  ``store="some/dir"`` to memoise every cell in a campaign store: warm
+  re-runs skip simulation entirely and stay byte-identical.
 * :func:`sweep` — run a heuristic × scenario grid and get the per-scenario
   tables, the cross-scenario ranking and one combined record set.
+* :func:`resume` — finish an interrupted campaign from its store's journal,
+  executing only the cells the crash lost.
 * :func:`load_results` / :func:`save_results` — versioned JSONL / CSV
   persistence of record sets; saved files are byte-identical for identical
   records whatever the execution order or ``jobs`` level.
@@ -38,12 +43,17 @@ from .errors import ExperimentError, ResultsError
 from .experiments.config import SCALES, ExperimentConfig, ExperimentScale
 from .experiments.registry import run_experiment
 from .results import CampaignObserver, ResultDiff, ResultSet, diff_result_sets
+from .store import CampaignStore, open_store, resume_experiment
 
-__all__ = ["run", "sweep", "load_results", "save_results", "compare"]
+__all__ = ["run", "sweep", "resume", "load_results", "save_results", "compare"]
 
 #: Things accepted wherever a result set is expected: the set itself, a
 #: result object carrying one, or a path to a saved file.
 ResultsLike = Union[ResultSet, str, "os.PathLike[str]", Any]
+
+#: Things accepted wherever a campaign store is expected: an open store or
+#: the path of its directory (created on first use).
+StoreLike = Union[CampaignStore, str, "os.PathLike[str]"]
 
 
 def _resolve_config(
@@ -52,6 +62,7 @@ def _resolve_config(
     seed: Optional[int],
     jobs: Optional[int],
     observers: Sequence[CampaignObserver],
+    store: Optional[StoreLike] = None,
 ) -> ExperimentConfig:
     """Fold the keyword overrides into one :class:`ExperimentConfig`."""
     resolved = config if config is not None else ExperimentConfig()
@@ -72,6 +83,8 @@ def _resolve_config(
         resolved = replace(
             resolved, observers=tuple(resolved.observers) + tuple(observers)
         )
+    if store is not None:
+        resolved = resolved.with_store(open_store(store))
     return resolved
 
 
@@ -83,6 +96,7 @@ def run(
     seed: Optional[int] = None,
     jobs: Optional[int] = None,
     observers: Sequence[CampaignObserver] = (),
+    store: Optional[StoreLike] = None,
 ):
     """Run one registered experiment and return its result object.
 
@@ -91,16 +105,45 @@ def run(
     ``"full"`` / ``"bench"`` / ``"smoke"`` or an
     :class:`~repro.experiments.ExperimentScale`), ``seed`` and ``jobs``
     override the corresponding fields of ``config``; ``observers`` stream
-    every cell completion.  Table experiments return a
+    every cell completion.  ``store`` (a :class:`~repro.store.CampaignStore`
+    or a directory path, created on first use) attaches the campaign store:
+    cells already journaled are recovered instead of simulated, fresh cells
+    are durably committed as they complete, and the result — table, records,
+    saved files — is byte-identical with a cold, warm or interrupted-then-
+    resumed store.  Table experiments return a
     :class:`~repro.experiments.runner.TableResult` whose ``result_set``
     holds one :class:`~repro.results.RunRecord` per run — the table itself
     is a :meth:`~repro.results.ResultSet.pivot` view over those records.
 
     Determinism contract: the records (hence the table, hence a saved
-    results file) are identical for every ``jobs`` value.
+    results file) are identical for every ``jobs`` value and every store
+    temperature.
+    """
+    resolved = _resolve_config(config, scale, seed, jobs, observers, store)
+    return run_experiment(experiment, resolved)
+
+
+def resume(
+    experiment: str,
+    store: StoreLike,
+    *,
+    config: Optional[ExperimentConfig] = None,
+    scale: Optional[Union[str, ExperimentScale]] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    observers: Sequence[CampaignObserver] = (),
+):
+    """Resume an interrupted campaign from its store's journal.
+
+    Diffs the experiment's planned cells against what ``store`` already
+    journaled, executes only the missing ones, and returns a
+    :class:`~repro.store.ResumeReport` whose ``result`` is byte-identical to
+    an uninterrupted run.  Running against an already-complete store is a
+    cheap verification: zero cells execute.  The shell form is
+    ``repro campaign resume <experiment> --store DIR``.
     """
     resolved = _resolve_config(config, scale, seed, jobs, observers)
-    return run_experiment(experiment, resolved)
+    return resume_experiment(experiment, open_store(store), config=resolved)
 
 
 def sweep(
@@ -112,18 +155,21 @@ def sweep(
     jobs: Optional[int] = None,
     metric: str = "sumflow",
     observers: Sequence[CampaignObserver] = (),
+    store: Optional[StoreLike] = None,
 ):
     """Run a scenario sweep and return its
     :class:`~repro.scenarios.sweep.ScenarioSweepResult`.
 
     ``scenarios`` defaults to every registered scenario; ``metric`` is the
-    ranking tie-break (lower is better).  The returned object carries every
-    scenario's records in one combined ``result_set`` ready for
-    :func:`save_results`.
+    ranking tie-break (lower is better).  ``store`` attaches a campaign
+    store shared by every scenario of the sweep — a warm sweep recovers all
+    its cells from the journal and executes zero simulations.  The returned
+    object carries every scenario's records in one combined ``result_set``
+    ready for :func:`save_results`.
     """
     from .scenarios import run_sweep  # deferred: keeps `import repro.api` light
 
-    resolved = _resolve_config(config, scale, seed, jobs, observers)
+    resolved = _resolve_config(config, scale, seed, jobs, observers, store)
     return run_sweep(names=scenarios, config=resolved, metric=metric)
 
 

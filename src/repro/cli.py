@@ -23,6 +23,16 @@ and compared with the ``results`` family::
     repro results show sweep.jsonl
     repro results diff before.jsonl after.jsonl
 
+The campaign store (:mod:`repro.store`) memoises executed cells, resumes
+interrupted campaigns and makes warm re-runs near-instant::
+
+    repro table5 --store runs/store            # cold: simulates + journals
+    repro table5 --store runs/store            # warm: zero simulations
+    repro campaign resume table5 --store runs/store
+    repro cache stats runs/store
+    repro cache ls runs/store --experiment table5
+    repro cache prune runs/store --experiment table5
+
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
 seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
@@ -45,7 +55,14 @@ from .experiments import (
 )
 from .results import ProgressObserver
 
-__all__ = ["build_parser", "build_scenario_parser", "build_results_parser", "main"]
+__all__ = [
+    "build_parser",
+    "build_scenario_parser",
+    "build_results_parser",
+    "build_campaign_parser",
+    "build_cache_parser",
+    "main",
+]
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -77,6 +94,14 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="stream one line per completed campaign cell to stderr",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="campaign store directory (created on first use): cells already "
+        "journaled there are recovered instead of simulated, fresh cells are "
+        "committed as they complete — warm re-runs are near-instant and "
+        "byte-identical; inspect with 'repro cache stats DIR'",
     )
 
 
@@ -130,6 +155,61 @@ def build_scenario_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_campaign_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro campaign`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Campaign lifecycle operations over a store (see repro.store).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    resume_parser = commands.add_parser(
+        "resume",
+        help="finish an interrupted campaign from its store's journal "
+        "(only the missing cells execute; output is byte-identical)",
+    )
+    resume_parser.add_argument(
+        "experiment",
+        help="a campaign experiment id (e.g. table5, scenario-sweep); "
+        "run with the same --scale/--seed as the interrupted run",
+    )
+    _add_common_options(resume_parser)
+    return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro cache`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and maintain campaign store directories (see repro.store).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats_parser = commands.add_parser("stats", help="print a store's statistics")
+    stats_parser.add_argument("store", help="store directory")
+
+    ls_parser = commands.add_parser("ls", help="list a store's cached cells")
+    ls_parser.add_argument("store", help="store directory")
+    ls_parser.add_argument(
+        "--experiment", metavar="ID", help="only list cells of this experiment id"
+    )
+
+    prune_parser = commands.add_parser(
+        "prune", help="drop cached cells and compact the journal atomically"
+    )
+    prune_parser.add_argument("store", help="store directory")
+    prune_parser.add_argument(
+        "--experiment", metavar="ID", help="drop the cells of this experiment id"
+    )
+    prune_parser.add_argument(
+        "--config-hash", metavar="HASH", help="drop the cells stamped with this config hash"
+    )
+    prune_parser.add_argument(
+        "--all", action="store_true", help="drop every cached cell"
+    )
+    return parser
+
+
 def build_results_parser() -> argparse.ArgumentParser:
     """Build the parser of the ``repro results`` subcommand family."""
     parser = argparse.ArgumentParser(
@@ -175,8 +255,30 @@ def _config_from(args: argparse.Namespace, parser: argparse.ArgumentParser) -> E
             f"--save-results needs a {'/'.join(_RESULT_EXTENSIONS)} extension, got {save_path!r}"
         )
     observers = (ProgressObserver(),) if args.progress else ()
+    store = None
+    if getattr(args, "store", None):
+        from .errors import StoreError
+        from .store import open_store
+
+        try:
+            store = open_store(args.store)
+        except (StoreError, OSError) as exc:
+            parser.error(f"could not open store {args.store!r}: {exc}")
     return ExperimentConfig(
-        scale=SCALES[args.scale], seed=args.seed, jobs=args.jobs, observers=observers
+        scale=SCALES[args.scale], seed=args.seed, jobs=args.jobs,
+        observers=observers, store=store,
+    )
+
+
+def _maybe_report_store(config: ExperimentConfig) -> None:
+    """One stderr summary line of the run's cache activity (CI greps it)."""
+    store = config.store
+    if store is None:
+        return
+    print(
+        f"store: {store.hits} cell(s) recovered, {store.puts} executed "
+        f"({len(store)} entries at {store.root})",
+        file=sys.stderr,
     )
 
 
@@ -216,6 +318,10 @@ def _list_experiments() -> str:
     lines.append("")
     lines.append("scenarios: 'repro scenario list' / 'repro scenario run <name>'")
     lines.append("saved results: 'repro results show <file>' / 'repro results diff <a> <b>'")
+    lines.append(
+        "campaign store: '--store DIR' on any campaign, 'repro campaign resume "
+        "<id> --store DIR', 'repro cache stats|ls|prune DIR'"
+    )
     return "\n".join(lines)
 
 
@@ -248,6 +354,104 @@ def _scenario_main(argv: List[str]) -> int:
         result = run_sweep(names=names, config=config, metric=args.metric)
     _print_result(result, args.markdown)
     _maybe_save(result, args, parser)
+    _maybe_report_store(config)
+    return 0
+
+
+def _campaign_main(argv: List[str]) -> int:
+    from .errors import ReproError
+    from .store import resume_experiment
+
+    parser = build_campaign_parser()
+    args = parser.parse_args(argv)
+
+    # only "resume" exists today
+    if not args.store:
+        parser.error("campaign resume needs --store DIR (the interrupted run's store)")
+    config = _config_from(args, parser)
+    try:
+        report = resume_experiment(args.experiment, config.store, config=config)
+    except ReproError as exc:
+        parser.error(str(exc))
+    _print_result(report.result, args.markdown)
+    _maybe_save(report.result, args, parser)
+    print(report.render(), file=sys.stderr)
+    return 0
+
+
+def _cache_main(argv: List[str]) -> int:
+    from .errors import StoreError
+    from .store import CampaignStore
+
+    parser = build_cache_parser()
+    args = parser.parse_args(argv)
+    import os as _os
+
+    if not _os.path.isdir(args.store):
+        # Inspection commands must not create stores: a typo'd path would
+        # silently materialise an empty directory and report 0 entries.
+        parser.error(
+            f"no store at {args.store!r} (stores are created by running a "
+            "campaign with --store)"
+        )
+    try:
+        store = CampaignStore(args.store)
+    except (StoreError, OSError) as exc:
+        parser.error(f"could not open store {args.store!r}: {exc}")
+
+    if args.command == "stats":
+        stats = store.stats()
+        journal_bytes = (
+            _os.path.getsize(store.journal.path) if store.journal.exists() else 0
+        )
+        print(f"store: {store.root}")
+        print(f"entries: {stats['entries']}")
+        print(f"experiments: {', '.join(stats['experiments']) or '(none)'}")
+        print(f"hits: {stats['hits']}")
+        print(f"misses: {stats['misses']}")
+        print(f"puts: {stats['puts']}")
+        print(f"journal-bytes: {journal_bytes}")
+        if store.recovered_torn_tail:
+            print("note: a torn final journal line was repaired on open", file=sys.stderr)
+        return 0
+
+    if args.command == "ls":
+        shown = 0
+        try:
+            for entry in store.entries():
+                key = entry.key
+                if args.experiment and key.experiment_id != args.experiment:
+                    continue
+                shown += 1
+                flags = " TRUNCATED" if entry.record.truncated else ""
+                print(
+                    f"{key.experiment_id} {key.heuristic} m{key.metatask_index} "
+                    f"rep{key.repetition} seed={key.seed} config={key.config_hash} "
+                    f"schema=v{key.schema_version}{flags}"
+                )
+        except BrokenPipeError:
+            # Listing into `head` & friends: stop quietly once the pipe closes.
+            sys.stderr.close()
+            return 0
+        print(f"{shown} cached cell(s)", file=sys.stderr)
+        return 0
+
+    # prune
+    if not (args.all or args.experiment or args.config_hash):
+        parser.error("prune needs a filter: --experiment ID, --config-hash HASH or --all")
+
+    def doomed(entry) -> bool:
+        if args.all:
+            return True
+        if args.experiment and entry.key.experiment_id != args.experiment:
+            return False
+        if args.config_hash and entry.key.config_hash != args.config_hash:
+            return False
+        return True
+
+    removed = store.prune(doomed)
+    store.flush_stats()
+    print(f"pruned {removed} cell(s); {len(store)} left", file=sys.stderr)
     return 0
 
 
@@ -295,6 +499,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _scenario_main(argv[1:])
     if argv and argv[0] == "results":
         return _results_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -307,6 +515,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     result = run_experiment(args.experiment, config)
     _print_result(result, args.markdown)
     _maybe_save(result, args, parser)
+    _maybe_report_store(config)
     return 0
 
 

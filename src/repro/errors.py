@@ -21,6 +21,7 @@ __all__ = [
     "UnknownProblem",
     "ExperimentError",
     "ResultsError",
+    "StoreError",
 ]
 
 
@@ -123,3 +124,10 @@ class ExperimentError(ReproError):
 # --------------------------------------------------------------------------- #
 class ResultsError(ReproError):
     """Error raised by the results subsystem (records, result sets, files)."""
+
+
+# --------------------------------------------------------------------------- #
+# Campaign store
+# --------------------------------------------------------------------------- #
+class StoreError(ReproError):
+    """Error raised by the campaign store (cell cache, journal, resume)."""

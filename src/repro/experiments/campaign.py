@@ -35,12 +35,13 @@ from __future__ import annotations
 
 import inspect
 import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.heuristics import Heuristic, create_heuristic
-from ..errors import ExperimentError
-from ..metrics.comparison import tasks_finishing_sooner
+from ..errors import ExperimentError, StoreError
+from ..metrics.comparison import compare_completion_maps, completion_map
 from ..metrics.flow import summarize
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
@@ -53,6 +54,8 @@ from ..results import (
     RunRecord,
     config_fingerprint,
 )
+from ..store.cache import CampaignStore, CellEntry, open_store, workload_fingerprint
+from ..store.resume import partition_cells
 from ..workload.metatask import Metatask
 from ..workload.problems import PAPER_CATALOGUE, ProblemCatalogue
 from .config import ExperimentConfig
@@ -285,25 +288,43 @@ def create_executor(jobs: Optional[int]) -> CellExecutor:
     return MultiprocessingExecutor(jobs)
 
 
-def _supports_on_result(executor: Callable) -> bool:
-    """Whether an executor accepts the streaming ``on_result`` callback."""
+def _accepts_keyword(callable_: Callable, name: str) -> bool:
+    """Whether ``callable_`` can be passed the keyword argument ``name``."""
     try:
-        parameters = inspect.signature(executor).parameters.values()
+        parameters = inspect.signature(callable_).parameters.values()
     except (TypeError, ValueError):  # builtins / exotic callables
         return False
     return any(
-        p.name == "on_result" or p.kind is inspect.Parameter.VAR_KEYWORD
+        p.name == name or p.kind is inspect.Parameter.VAR_KEYWORD
         for p in parameters
     )
 
 
+def _supports_on_result(executor: Callable) -> bool:
+    """Whether an executor accepts the streaming ``on_result`` callback."""
+    return _accepts_keyword(executor, "on_result")
+
+
+def _accepts_cached(observer: CampaignObserver) -> bool:
+    """Whether an observer's ``on_cell_complete`` takes the ``cached`` flag.
+
+    Observers written before the campaign store keep working: they are
+    simply called without the keyword.
+    """
+    return _accepts_keyword(observer.on_cell_complete, "cached")
+
+
 class _CampaignAssembler:
-    """Streams ``(cell, run)`` pairs into records, outcomes and observers.
+    """Streams executed runs *and* cached entries into records and observers.
 
     Results must be fed in planned cell order (reference heuristic first) so
-    every "tasks finishing sooner" comparison finds its reference run; the
-    assembler buffers out-of-order arrivals from exotic executors and always
-    *processes* contiguously from cell 0.
+    every "tasks finishing sooner" comparison finds its reference
+    completions; the assembler buffers out-of-order arrivals from exotic
+    executors and always *processes* contiguously from cell 0.  Cells may
+    arrive through two doors — :meth:`on_result` (a freshly executed run,
+    committed to the store when one is attached) and :meth:`on_cached` (an
+    entry recovered from the store's journal, emitted verbatim) — and the
+    record stream is byte-identical whichever door each cell came through.
     """
 
     def __init__(
@@ -313,6 +334,8 @@ class _CampaignAssembler:
         work_items: Sequence[CellWork],
         config: ExperimentConfig,
         observers: Sequence[CampaignObserver],
+        store: Optional[CampaignStore] = None,
+        cell_keys: Optional[Sequence] = None,
     ):
         from .runner import HeuristicOutcome  # circular-import guard
 
@@ -322,20 +345,38 @@ class _CampaignAssembler:
         self.work_items = work_items
         self.config = config
         self.observers = list(observers)
+        self._observer_takes_cached = [_accepts_cached(o) for o in self.observers]
+        self.store = store
+        self.cell_keys = cell_keys
         self.config_hash = config_fingerprint(config)
         self.result_set = ResultSet()
         self.outcomes: Dict[str, object] = {}
-        self.reference_runs: Dict[Tuple[int, int], RunResult] = {}
-        self._pending: Dict[int, RunResult] = {}
+        #: ``task_id → completion date`` of the reference run of each
+        #: (metatask, repetition) key — from a live run or from the store.
+        self.reference_completions: Dict[Tuple[int, int], Dict[str, float]] = {}
+        self.recovered = 0
+        self.executed = 0
+        self._pending: Dict[int, Tuple[bool, object]] = {}
         self._next = 0
 
     def on_result(self, index: int, run: RunResult) -> None:
         """Accept one executor result (any order; processing stays ordered)."""
+        self._enqueue(index, (False, run))
+
+    def on_cached(self, index: int, entry: CellEntry) -> None:
+        """Accept one journaled cell recovered from the store."""
+        self._enqueue(index, (True, entry))
+
+    def _enqueue(self, index: int, item: Tuple[bool, object]) -> None:
         if index < self._next or index in self._pending:
             return  # already processed (a replay after a non-streaming executor)
-        self._pending[index] = run
+        self._pending[index] = item
         while self._next in self._pending:
-            self._process(self._next, self._pending.pop(self._next))
+            cached, payload = self._pending.pop(self._next)
+            if cached:
+                self._process_cached(self._next, payload)
+            else:
+                self._process(self._next, payload)
             self._next += 1
 
     @property
@@ -354,12 +395,14 @@ class _CampaignAssembler:
         metrics: Dict[str, Optional[float]] = {
             name: float(getattr(summary, name)) for name in _RECORD_SUMMARY_FIELDS
         }
+        completions: Optional[Dict[str, float]] = None
         if cell.heuristic == self.config.reference:
-            self.reference_runs[cell.key] = run
-        elif cell.key in self.reference_runs:
-            comparison = tasks_finishing_sooner(
-                run.tasks,
-                self.reference_runs[cell.key].tasks,
+            completions = completion_map(run.tasks)
+            self.reference_completions[cell.key] = completions
+        elif cell.key in self.reference_completions:
+            comparison = compare_completion_maps(
+                completion_map(run.tasks),
+                self.reference_completions[cell.key],
                 cell.heuristic,
                 self.config.reference,
             )
@@ -375,9 +418,34 @@ class _CampaignAssembler:
             truncated=run.truncated,
             metrics=metrics,
         )
+        if self.store is not None:
+            # WAL discipline: the cell only counts as done once journaled.
+            self.store.put(
+                CellEntry(key=self.cell_keys[index], record=record, completions=completions)
+            )
+        self.executed += 1
+        self._emit(index, record, cached=False)
+
+    def _process_cached(self, index: int, entry: CellEntry) -> None:
+        cell = self.cells[index]
+        if cell.heuristic == self.config.reference:
+            if entry.completions is None:
+                raise StoreError(
+                    f"cached reference cell {cell.heuristic}/m{cell.metatask_index}"
+                    f"/rep{cell.repetition} carries no completion map; the store "
+                    "entry is damaged — prune it and re-run"
+                )
+            self.reference_completions[cell.key] = dict(entry.completions)
+        self.recovered += 1
+        self._emit(index, entry.record, cached=True)
+
+    def _emit(self, index: int, record: RunRecord, cached: bool) -> None:
         self.result_set.append(record)
-        for observer in self.observers:
-            observer.on_cell_complete(index, len(self.cells), record)
+        for observer, takes_cached in zip(self.observers, self._observer_takes_cached):
+            if takes_cached:
+                observer.on_cell_complete(index, len(self.cells), record, cached=cached)
+            else:
+                observer.on_cell_complete(index, len(self.cells), record)
 
 
 def run_campaign(
@@ -392,6 +460,7 @@ def run_campaign(
     jobs: Optional[int] = None,
     executor: Optional[CellExecutor] = None,
     observers: Sequence[CampaignObserver] = (),
+    store: Optional[Union[CampaignStore, str]] = None,
 ):
     """Run a full table campaign and assemble its :class:`TableResult`.
 
@@ -400,6 +469,17 @@ def run_campaign(
     :class:`RunResult`, optionally streaming each result through an
     ``on_result(index, result)`` keyword callback) overrides both — the
     pluggable backend hook.
+
+    ``store`` (or ``config.store``) attaches a
+    :class:`~repro.store.CampaignStore`: the plan is diffed against the
+    store's journal first, journaled cells are recovered without simulating
+    (the executor only ever sees the missing ones), and every freshly
+    executed cell is durably committed before it counts as done.  A fully
+    warm store therefore replays the whole campaign with *zero* simulations,
+    and a campaign killed mid-flight resumes from its journal — in both
+    cases the records, the table and any saved file are byte-identical to a
+    cold, uninterrupted run.  ``TableResult.cache_info`` reports the
+    recovered/executed split.
 
     As cells complete, one :class:`~repro.results.RunRecord` per cell is
     assembled in planned order and streamed to ``observers`` (plus any
@@ -424,23 +504,72 @@ def run_campaign(
     if executor is None:
         executor = create_executor(config.jobs if jobs is None else jobs)
 
+    store = open_store(store if store is not None else getattr(config, "store", None))
     all_observers = list(observers) + list(getattr(config, "observers", ()) or ())
-    assembler = _CampaignAssembler(experiment_id, cells, work_items, config, all_observers)
+
+    if store is None:
+        partition = None
+        cell_keys = None
+        miss_indices = list(range(len(cells)))
+        miss_items = work_items
+    else:
+        # Diff the plan against the journal: hits are recovered, only the
+        # missing cells reach the executor.  The workload fingerprint keeps
+        # custom platform/metatask arguments — which the config hash cannot
+        # see — from aliasing another campaign's cells.
+        config_hash = config_fingerprint(config)
+        workload_hash = workload_fingerprint(platform, metatasks)
+        partition = partition_cells(
+            store, experiment_id, config_hash, cells, work_items, workload_hash
+        )
+        cell_keys = partition.keys
+        miss_indices = partition.misses
+        miss_items = [work_items[i] for i in miss_indices]
+        if not partition.hits:
+            # A resume with the wrong --scale/--seed looks exactly like a
+            # cold run: same experiment id, different config hash, zero
+            # hits.  Warn *before* hours of re-simulation, not after.
+            stale = sum(
+                1 for e in store.entries() if e.key.experiment_id == experiment_id
+            )
+            if stale:
+                warnings.warn(
+                    f"store at {store.root!r} holds {stale} cell(s) for "
+                    f"{experiment_id!r} under a different configuration or "
+                    f"workload (key mismatch — check --scale/--seed); this "
+                    f"campaign is starting cold",
+                    stacklevel=2,
+                )
+
+    assembler = _CampaignAssembler(
+        experiment_id, cells, work_items, config, all_observers,
+        store=store, cell_keys=cell_keys,
+    )
     for observer in all_observers:
         observer.on_campaign_start(experiment_id, len(cells))
+    if partition is not None:
+        for index, entry in partition.hits.items():
+            assembler.on_cached(index, entry)
 
-    if _supports_on_result(executor):
-        results = executor(work_items, on_result=assembler.on_result)
+    # Executor indices are positions in the (possibly filtered) miss list;
+    # remap them onto planned cell indices before they reach the assembler.
+    def on_miss_result(position: int, run: RunResult) -> None:
+        assembler.on_result(miss_indices[position], run)
+
+    if not miss_items:
+        results: List[RunResult] = []
+    elif _supports_on_result(executor):
+        results = executor(miss_items, on_result=on_miss_result)
     else:
-        results = executor(work_items)
-    if len(results) != len(cells):
+        results = executor(miss_items)
+    if len(results) != len(miss_items):
         raise ExperimentError(
-            f"executor returned {len(results)} results for {len(cells)} cells"
+            f"executor returned {len(results)} results for {len(miss_items)} cells"
         )
     # Replay anything the executor did not stream (plain executors stream
     # nothing; well-behaved ones streamed everything and this is a no-op).
-    for index, run in enumerate(results):
-        assembler.on_result(index, run)
+    for position, run in enumerate(results):
+        on_miss_result(position, run)
     if assembler.processed != len(cells):
         raise ExperimentError(
             f"assembled {assembler.processed} cells out of {len(cells)}"
@@ -448,10 +577,13 @@ def run_campaign(
 
     # Truncated runs (the middleware safety horizon fired) must not be
     # silently averaged with complete ones: surface them in the table notes.
+    # Records are assembled in planned cell order, so zipping them against
+    # the plan is exact — and works for recovered cells, which have no
+    # RunResult, because the record carries the truncation flag.
     truncated_cells = [
         f"{cell.heuristic}/metatask{cell.metatask_index}/rep{cell.repetition}"
-        for cell, run in zip(cells, results)
-        if run.truncated
+        for cell, record in zip(cells, assembler.result_set)
+        if record.truncated
     ]
     notes = list(notes or [])
     if truncated_cells:
@@ -471,12 +603,16 @@ def run_campaign(
         "seed": config.seed,
         "reference": config.reference,
     }
+    if store is not None:
+        store.flush_stats()
     for observer in all_observers:
         observer.on_campaign_end(result_set)
 
     # The table is a pure pivot view over the records; the rich per-run
     # objects (tasks, server stats) ride along in ``outcomes`` for consumers
-    # that need more than the aggregated numbers.
+    # that need more than the aggregated numbers.  ``outcomes`` only covers
+    # *executed* cells — recovered cells contribute records, not live runs.
     table = result_set.pivot()
     table.outcomes = assembler.outcomes
+    table.cache_info = {"recovered": assembler.recovered, "executed": assembler.executed}
     return table

@@ -99,6 +99,12 @@ class ExperimentConfig:
     #: — observers never influence the numbers and are excluded from the
     #: configuration fingerprint stamped on records.
     observers: Tuple = ()
+    #: Campaign store (:class:`repro.store.CampaignStore`, or a directory
+    #: path) consulted before simulating each cell and appended to as cells
+    #: complete.  Execution-only, like ``jobs``: a store can skip work, never
+    #: change numbers, so it is excluded from the configuration fingerprint —
+    #: cold and warm runs stamp identical hashes.
+    store: Optional[object] = None
 
     def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
         """Return a copy using a different scale."""
@@ -111,6 +117,10 @@ class ExperimentConfig:
     def with_jobs(self, jobs: int) -> "ExperimentConfig":
         """Return a copy using a different campaign parallelism level."""
         return replace(self, jobs=jobs)
+
+    def with_store(self, store) -> "ExperimentConfig":
+        """Return a copy attached to a campaign store (or a store path)."""
+        return replace(self, store=store)
 
     def middleware_for(self, heuristic: str, seed_offset: int = 0) -> MiddlewareConfig:
         """Middleware configuration for a given heuristic run."""

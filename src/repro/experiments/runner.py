@@ -84,6 +84,11 @@ class TableResult:
     #: The records behind the columns (``None`` for hand-built tables such as
     #: the ablations, which aggregate their own single runs).
     result_set: Optional[ResultSet] = None
+    #: Cache-hit accounting of the producing campaign when one ran with a
+    #: :class:`~repro.store.CampaignStore` attached:
+    #: ``{"recovered": cells served from the journal, "executed": cells
+    #: simulated}``.  ``None`` for tables not built by ``run_campaign``.
+    cache_info: Optional[Dict[str, int]] = None
 
     def column(self, heuristic: str) -> Dict[str, float]:
         """The column (metric → value) of one heuristic."""

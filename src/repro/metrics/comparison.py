@@ -19,6 +19,8 @@ from .report import format_value
 
 __all__ = [
     "PairwiseComparison",
+    "completion_map",
+    "compare_completion_maps",
     "tasks_finishing_sooner",
     "compare_runs",
     "rank_heuristics",
@@ -26,7 +28,14 @@ __all__ = [
 ]
 
 
-def _completion_map(tasks: Iterable[Task]) -> Dict[str, float]:
+def completion_map(tasks: Iterable[Task]) -> Dict[str, float]:
+    """``task_id → completion date`` over the completed tasks of one run.
+
+    This map is the entire input one run contributes to a pairwise
+    comparison, which is why the campaign store can journal it instead of
+    whole runs: a cached reference cell compares against fresh candidate
+    runs with exactly the numbers a live reference run would produce.
+    """
     return {t.task_id: t.completion_time for t in tasks if t.completed}
 
 
@@ -64,8 +73,21 @@ def tasks_finishing_sooner(
     Tasks are paired by ``task_id``; tasks that did not complete under both
     heuristics are ignored (they cannot be compared).
     """
-    candidate_completions = _completion_map(candidate_tasks)
-    reference_completions = _completion_map(reference_tasks)
+    return compare_completion_maps(
+        completion_map(candidate_tasks),
+        completion_map(reference_tasks),
+        candidate_name,
+        reference_name,
+    )
+
+
+def compare_completion_maps(
+    candidate_completions: Mapping[str, float],
+    reference_completions: Mapping[str, float],
+    candidate_name: str = "candidate",
+    reference_name: str = "reference",
+) -> PairwiseComparison:
+    """:func:`tasks_finishing_sooner` on pre-extracted completion maps."""
     common = sorted(set(candidate_completions) & set(reference_completions))
     sooner = later = tied = 0
     total_gain = 0.0

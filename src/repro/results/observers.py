@@ -25,12 +25,21 @@ __all__ = ["CampaignObserver", "ResultSetObserver", "ProgressObserver"]
 
 
 class CampaignObserver:
-    """Base observer: every hook is a no-op — override what you need."""
+    """Base observer: every hook is a no-op — override what you need.
+
+    ``cached`` on :meth:`on_cell_complete` reports whether the cell was
+    recovered from an attached :class:`~repro.store.CampaignStore` journal
+    (``True``) or freshly simulated (``False``).  Observers overriding the
+    hook without the keyword keep working — the campaign engine inspects the
+    signature and omits the flag for them.
+    """
 
     def on_campaign_start(self, experiment_id: str, total_cells: int) -> None:
         """Called once, before the first cell executes."""
 
-    def on_cell_complete(self, index: int, total: int, record: RunRecord) -> None:
+    def on_cell_complete(
+        self, index: int, total: int, record: RunRecord, cached: bool = False
+    ) -> None:
         """Called once per cell, in planned cell order (index is 0-based)."""
 
     def on_campaign_end(self, result_set: ResultSet) -> None:
@@ -44,13 +53,17 @@ class ResultSetObserver(CampaignObserver):
     ``on_campaign_end`` it equals the campaign's own set (records only —
     the campaign attaches title/notes meta to its final set).  One observer
     instance may watch several campaigns in sequence and ends up with the
-    concatenation, which is how sweeps build their combined set.
+    concatenation, which is how sweeps build their combined set.  Records
+    recovered from a store are appended exactly like freshly computed ones —
+    they are byte-identical by construction.
     """
 
     def __init__(self, result_set: Optional[ResultSet] = None):
         self.result_set = result_set if result_set is not None else ResultSet()
 
-    def on_cell_complete(self, index: int, total: int, record: RunRecord) -> None:
+    def on_cell_complete(
+        self, index: int, total: int, record: RunRecord, cached: bool = False
+    ) -> None:
         self.result_set.append(record)
 
 
@@ -59,25 +72,45 @@ class ProgressObserver(CampaignObserver):
 
     Output goes to ``stream`` (default: stderr, so tables on stdout stay
     machine-parsable and byte-identical with and without progress display).
+    Cells recovered from a campaign store are marked ``(cached)``, and the
+    end-of-campaign line splits the total into cached vs computed whenever a
+    store served at least one cell.
     """
 
     def __init__(self, stream: Optional[IO[str]] = None):
         self.stream = stream if stream is not None else sys.stderr
+        self._cached = 0
+        self._computed = 0
 
     def on_campaign_start(self, experiment_id: str, total_cells: int) -> None:
+        self._cached = 0
+        self._computed = 0
         print(f"[{experiment_id}] {total_cells} cells planned", file=self.stream)
 
-    def on_cell_complete(self, index: int, total: int, record: RunRecord) -> None:
+    def on_cell_complete(
+        self, index: int, total: int, record: RunRecord, cached: bool = False
+    ) -> None:
+        if cached:
+            self._cached += 1
+        else:
+            self._computed += 1
         status = " TRUNCATED" if record.truncated else ""
+        origin = " (cached)" if cached else ""
         print(
             f"[{record.experiment_id}] {index + 1}/{total} "
-            f"{record.heuristic} m{record.metatask_index} rep{record.repetition}{status}",
+            f"{record.heuristic} m{record.metatask_index} rep{record.repetition}"
+            f"{origin}{status}",
             file=self.stream,
         )
 
     def on_campaign_end(self, result_set: ResultSet) -> None:
+        split = (
+            f" ({self._cached} cached, {self._computed} computed)"
+            if self._cached
+            else ""
+        )
         print(
             f"[{result_set.meta.get('experiment_id', 'campaign')}] "
-            f"done: {len(result_set)} records",
+            f"done: {len(result_set)} records{split}",
             file=self.stream,
         )

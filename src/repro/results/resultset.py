@@ -459,13 +459,16 @@ class ResultSet:
         """Write the set to ``path``; the extension picks the format.
 
         ``.jsonl`` / ``.json`` → JSONL with the meta header; ``.csv`` → CSV
-        (records only).  Returns the path written.
+        (records only).  The write is atomic (temp file + ``os.replace``, the
+        campaign store's helper): a crash mid-save leaves either the previous
+        file or the complete new one, never a truncated results file.
+        Returns the path written.
         """
+        from ..store.journal import atomic_write_text  # deferred: import cycle
+
         path = os.fspath(path)
         text = self._serialise_for(path)
-        with open(path, "w", encoding="utf-8", newline="") as handle:
-            handle.write(text)
-        return path
+        return atomic_write_text(path, text)
 
     def _serialise_for(self, path: str) -> str:
         extension = os.path.splitext(path)[1].lower()

@@ -96,6 +96,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     metric: str = "sumflow",
     observers: Sequence[CampaignObserver] = (),
+    store=None,
 ) -> ScenarioSweepResult:
     """Run scenarios (all registered ones by default) and rank the heuristics.
 
@@ -105,7 +106,12 @@ def run_sweep(
     exactly the numbers of the full sweep's corresponding rows.
 
     ``observers`` stream every cell completion of every scenario (on top of
-    any observers already attached to ``config.observers``).
+    any observers already attached to ``config.observers``).  ``store`` (a
+    :class:`~repro.store.CampaignStore` or directory path, overriding
+    ``config.store``) attaches the campaign store to every scenario campaign:
+    per-scenario cells already journaled are recovered without simulating, so
+    a warm sweep replays in milliseconds with byte-identical records, and a
+    sweep killed mid-flight resumes cell-exactly.
     """
     names = list(names) if names is not None else scenario_names()
     if not names:
@@ -122,6 +128,14 @@ def run_sweep(
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
     if observers:
         config = replace(config, observers=tuple(config.observers) + tuple(observers))
+    store = store if store is not None else config.store
+    if store is not None:
+        # Resolve once (paths included, also when riding on ``config.store``)
+        # so every scenario campaign shares one open journal instead of
+        # replaying it per scenario.
+        from ..store import open_store
+
+        config = replace(config, store=open_store(store))
 
     combined = ResultSet(
         meta={

@@ -1,0 +1,46 @@
+"""The campaign store: a content-addressed run cache with crash-safe resume.
+
+Campaign cells are content-addressable: the configuration fingerprint, the
+experiment id, the cell coordinates and the derived seed fully determine a
+cell's numbers, so a cell executed once never needs to execute again.  This
+package turns that property into infrastructure, in three layers:
+
+* :mod:`repro.store.cache` — the content-addressed **cell cache**
+  (:class:`CellKey` → :class:`CellEntry`) behind :class:`CampaignStore`:
+  executors consult it before simulating, warm sweeps skip simulation
+  entirely and still emit byte-identical records;
+* :mod:`repro.store.journal` — the crash-safe **journal**: an append-only,
+  fsynced JSONL write-ahead log with atomic temp-file + ``os.replace``
+  commits and a recovery path that tolerates a torn final line;
+* :mod:`repro.store.resume` — the **resume orchestrator**: diffs journaled
+  cells against the campaign plan and re-runs only the missing ones, in
+  canonical order, so resumed output is byte-identical to an uninterrupted
+  run.
+
+Entry points: ``repro.api.run/sweep(..., store=...)``, the CLI's ``--store``
+plus ``repro campaign resume`` / ``repro cache stats|ls|prune``, or
+programmatically::
+
+    from repro.store import open_store
+
+    store = open_store("runs/store")
+    table = api.run("table5", scale="smoke", store=store)   # cold: executes
+    table = api.run("table5", scale="smoke", store=store)   # warm: 0 runs
+"""
+
+from .cache import CampaignStore, CellEntry, CellKey, open_store
+from .journal import Journal, atomic_write_text
+from .resume import CellPartition, ResumeReport, partition_cells, resume_experiment
+
+__all__ = [
+    "CampaignStore",
+    "CellEntry",
+    "CellKey",
+    "open_store",
+    "Journal",
+    "atomic_write_text",
+    "CellPartition",
+    "ResumeReport",
+    "partition_cells",
+    "resume_experiment",
+]

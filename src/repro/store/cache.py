@@ -1,0 +1,351 @@
+"""Content-addressed cell cache: the persistence layer of the campaign store.
+
+Every campaign cell — one full middleware simulation — is fully determined
+by its :class:`CellKey`: the configuration fingerprint
+(:func:`repro.results.config_fingerprint`, which already excludes
+execution-only knobs), the experiment id, the cell coordinates, the derived
+seed the run actually used, and the record schema version.  Two cells with
+the same key therefore produce the same numbers, which is what makes caching
+sound: the store memoises the provenance-stamped
+:class:`~repro.results.RunRecord` of each executed cell and hands it back,
+byte-identical, to any later campaign that plans the same cell.
+
+Reference-heuristic entries additionally carry the run's per-task completion
+map, so a *partially* warm campaign can still compute the paper's pairwise
+"tasks finishing sooner" metric for freshly executed candidate cells without
+re-simulating the cached reference run.
+
+Durability comes from the :class:`~repro.store.journal.Journal` write-ahead
+log: one fsynced line per committed cell, so a campaign killed at cell
+900/1000 recovers 900 cells.  :class:`CampaignStore` is the facade tying the
+in-memory index, the journal and the persistent hit/miss statistics
+together; :func:`open_store` is the one-liner entry point used by
+``repro.api`` and the CLI's ``--store``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import StoreError
+from ..results.records import SCHEMA_VERSION, RunRecord
+from .journal import Journal, atomic_write_text
+
+__all__ = [
+    "CellKey",
+    "CellEntry",
+    "CampaignStore",
+    "open_store",
+    "workload_fingerprint",
+    "STORE_JOURNAL_NAME",
+]
+
+
+def workload_fingerprint(platform: Any, metatasks: Sequence[Any]) -> str:
+    """Stable fingerprint of a campaign's workload (platform + metatasks).
+
+    The configuration fingerprint covers the knobs of *registry* experiments,
+    whose workloads derive deterministically from the config — but
+    :func:`~repro.experiments.campaign.run_campaign` also accepts arbitrary
+    platform / metatask arguments, which the config never sees.  Hashing
+    their full dataclass trees (machine specs, per-item problems and arrival
+    dates) into the cell address keeps two custom campaigns with the same
+    config but different workloads from aliasing each other's cached cells.
+    """
+    payload = {
+        "platform": asdict(platform),
+        "metatasks": [asdict(metatask) for metatask in metatasks],
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+#: File names inside a store directory.
+STORE_JOURNAL_NAME = "journal.jsonl"
+_STATS_NAME = "stats.json"
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The content address of one campaign cell.
+
+    Everything that determines the cell's numbers is in the key; everything
+    that does not (``jobs``, observers, the store itself) is excluded — the
+    fingerprint-invariance tests in ``tests/store`` guard that boundary.
+    """
+
+    config_hash: str
+    experiment_id: str
+    heuristic: str
+    metatask_index: int
+    repetition: int
+    #: The *derived* middleware seed of the cell (root seed + coordinate
+    #: offset [+ scenario offset]) — already coordinate-addressed, but keyed
+    #: explicitly so a root-seed change can never alias a cached cell.
+    seed: int
+    #: :func:`workload_fingerprint` of the campaign's platform + metatasks
+    #: (guards custom ``run_campaign`` workloads the config hash cannot see).
+    workload_hash: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def digest(self) -> str:
+        """The content address: SHA-256 over the canonical key JSON.
+
+        Built from :meth:`to_json_dict`, so the journaled representation and
+        the content address can never drift apart field-wise.
+        """
+        payload = json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "config_hash": self.config_hash,
+            "experiment_id": self.experiment_id,
+            "heuristic": self.heuristic,
+            "metatask_index": self.metatask_index,
+            "repetition": self.repetition,
+            "seed": self.seed,
+            "workload_hash": self.workload_hash,
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "CellKey":
+        try:
+            return cls(
+                config_hash=str(data["config_hash"]),
+                experiment_id=str(data["experiment_id"]),
+                heuristic=str(data["heuristic"]),
+                metatask_index=int(data["metatask_index"]),
+                repetition=int(data["repetition"]),
+                seed=int(data["seed"]),
+                workload_hash=str(data["workload_hash"]),
+                schema_version=int(data["schema_version"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed cell key: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CellEntry:
+    """One cached cell: its key, its record, and (for reference-heuristic
+    cells) the ``task_id → completion date`` map that pairwise comparisons
+    need when a later campaign executes fresh candidate cells against this
+    cached reference."""
+
+    key: CellKey
+    record: RunRecord
+    completions: Optional[Mapping[str, float]] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "cell",
+            "key": self.key.to_json_dict(),
+            "record": self.record.to_json_dict(),
+            # JSON floats round-trip exactly (shortest-repr), so completion
+            # dates survive the journal byte-for-byte.
+            "completions": None if self.completions is None else dict(self.completions),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "CellEntry":
+        try:
+            completions = data["completions"]
+            return cls(
+                key=CellKey.from_json_dict(data["key"]),
+                record=RunRecord.from_json_dict(data["record"]),
+                completions=(
+                    None
+                    if completions is None
+                    else {str(k): float(v) for k, v in dict(completions).items()}
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed cell entry: {exc}") from exc
+
+
+class CampaignStore:
+    """A directory-backed, journaled, content-addressed cell cache.
+
+    Layout: ``<root>/journal.jsonl`` (the write-ahead log, one committed cell
+    per line) and ``<root>/stats.json`` (cumulative hit/miss/put counters,
+    rewritten atomically).  Opening a store replays the journal into an
+    in-memory index, repairing a torn final line if the previous owner
+    crashed mid-append.
+
+    Session counters (:attr:`hits`, :attr:`misses`, :attr:`puts`) track the
+    current process only; :meth:`flush_stats` folds them into the persistent
+    cumulative counters.  Lookups and commits happen in the campaign's
+    parent process (the assembler), so a single append handle is safe at any
+    ``--jobs`` level.
+    """
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"], fsync: bool = True):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.journal = Journal(os.path.join(self.root, STORE_JOURNAL_NAME), fsync=fsync)
+        self._index: Dict[str, CellEntry] = {}
+        self.recovered_torn_tail = False
+        self._load()
+        # Per-process session counters (deltas folded into stats.json).
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._flushed = {"hits": 0, "misses": 0, "puts": 0}
+
+    def _load(self) -> None:
+        entries, torn = self.journal.recover()
+        self.recovered_torn_tail = torn
+        for raw in entries:
+            if raw.get("kind") != "cell":
+                # Unknown kinds are forward-compatible no-ops.
+                continue
+            entry = CellEntry.from_json_dict(raw)
+            self._index[entry.key.digest] = entry  # last write wins
+
+    # ------------------------------------------------------------------ #
+    # cache protocol
+    # ------------------------------------------------------------------ #
+    def get(self, key: CellKey) -> Optional[CellEntry]:
+        """Look one cell up, counting the hit or miss."""
+        entry = self._index.get(key.digest)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def peek(self, key: CellKey) -> Optional[CellEntry]:
+        """Look one cell up without touching the hit/miss counters."""
+        return self._index.get(key.digest)
+
+    def put(self, entry: CellEntry) -> None:
+        """Durably commit one cell (journal append, then index update)."""
+        self.journal.append(entry.to_json_dict())
+        self._index[entry.key.digest] = entry
+        self.puts += 1
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key.digest in self._index
+
+    def entries(self) -> Iterator[CellEntry]:
+        """Every cached cell, in journal (commit) order, last write wins."""
+        return iter(self._index.values())
+
+    def experiment_ids(self) -> List[str]:
+        """Distinct experiment ids present in the cache, sorted."""
+        return sorted({entry.key.experiment_id for entry in self._index.values()})
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def prune(self, predicate: Callable[[CellEntry], bool]) -> int:
+        """Drop every entry matching ``predicate``; compact the journal.
+
+        Returns the number of entries removed.  The compacted journal is
+        written atomically, so a crash mid-prune leaves the previous journal
+        intact.  Do not prune while another process is actively running a
+        campaign against the same store: cells that process commits between
+        this store's journal replay and the compaction are dropped from the
+        rewritten file (its *later* commits survive — appends detect the
+        inode swap and reopen — but the window is lossy).
+        """
+        keep = {
+            digest: entry
+            for digest, entry in self._index.items()
+            if not predicate(entry)
+        }
+        removed = len(self._index) - len(keep)
+        if removed:
+            self.journal.rewrite([entry.to_json_dict() for entry in keep.values()])
+            self._index = keep
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def stats_path(self) -> str:
+        return os.path.join(self.root, _STATS_NAME)
+
+    def _read_persistent_stats(self) -> Dict[str, int]:
+        try:
+            with open(self.stats_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return {"hits": 0, "misses": 0, "puts": 0}
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt store stats {self.stats_path!r}: {exc}") from exc
+        return {
+            name: int(data.get(name, 0)) for name in ("hits", "misses", "puts")
+        }
+
+    def flush_stats(self) -> Dict[str, Any]:
+        """Fold the session counters into ``stats.json`` (atomic rewrite).
+
+        Returns the cumulative statistics after the fold; flushing twice
+        only accounts new activity once.
+        """
+        cumulative = self._read_persistent_stats()
+        for name in ("hits", "misses", "puts"):
+            session = getattr(self, name)
+            cumulative[name] += session - self._flushed[name]
+            self._flushed[name] = session
+        payload = dict(cumulative)
+        payload["entries"] = len(self)
+        payload["experiments"] = self.experiment_ids()
+        atomic_write_text(
+            self.stats_path,
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+        return payload
+
+    def stats(self) -> Dict[str, Any]:
+        """Current statistics: persistent cumulative + this session's deltas."""
+        cumulative = self._read_persistent_stats()
+        for name in ("hits", "misses", "puts"):
+            cumulative[name] += getattr(self, name) - self._flushed[name]
+        cumulative["entries"] = len(self)
+        cumulative["experiments"] = self.experiment_ids()
+        return cumulative
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<CampaignStore {self.root!r} entries={len(self)}>"
+
+
+def open_store(
+    store: Union[str, "os.PathLike[str]", CampaignStore, None],
+) -> Optional[CampaignStore]:
+    """Coerce a path (or an already-open store, or ``None``) to a store.
+
+    Paths are created on first use; an existing store directory is replayed.
+    This is the resolution step behind ``repro.api.run(..., store=...)`` and
+    the CLI's ``--store DIR``.
+    """
+    if store is None or isinstance(store, CampaignStore):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        return CampaignStore(store)
+    raise StoreError(
+        f"cannot interpret {store!r} as a campaign store (expected a "
+        "directory path or a CampaignStore)"
+    )

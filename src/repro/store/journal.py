@@ -1,0 +1,264 @@
+"""Crash-safe journaling: atomic file replacement and an append-only WAL.
+
+Two durability primitives shared by the campaign store (and reused by the
+results persistence layer):
+
+* :func:`atomic_write_text` — write a whole file through a same-directory
+  temporary file and :func:`os.replace`, so readers only ever see the old
+  content or the complete new content, never a truncated mix.  Used for
+  journal compaction, store statistics and ``ResultSet.save``.
+* :class:`Journal` — an append-only JSONL write-ahead log.  Every committed
+  campaign cell becomes one line, flushed and fsynced before the cell counts
+  as done.  Recovery (:meth:`Journal.recover`) tolerates exactly the damage a
+  crash can cause — a *torn final line* from an append cut short — by
+  dropping the tail and repairing the file atomically; damage a crash cannot
+  cause (garbage in the middle of the file) fails loudly instead of being
+  silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, IO, Iterator, List, Optional, Tuple, Union
+
+from ..errors import StoreError
+
+__all__ = ["atomic_write_text", "Journal", "JOURNAL_FORMAT", "JOURNAL_VERSION"]
+
+#: Magic ``format`` value of the journal header line.
+JOURNAL_FORMAT = "repro-store-journal"
+
+#: Version of the journal's on-disk layout; future versions are rejected.
+JOURNAL_VERSION = 1
+
+
+def atomic_write_text(path: Union[str, "os.PathLike[str]"], text: str) -> str:
+    """Write ``text`` to ``path`` atomically (temp file + :func:`os.replace`).
+
+    The temporary file lives in the target's directory so the final rename
+    never crosses a filesystem boundary; it is flushed and fsynced before the
+    replace, so after a crash the path holds either the previous content or
+    the full new content.  Returns the path written.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # mkstemp creates 0600 files; replacing must not silently tighten the
+        # target's permissions (a shared results file must stay shared), so
+        # carry the target's mode over — or the umask default for new files.
+        try:
+            mode = os.stat(path).st_mode & 0o7777
+        except FileNotFoundError:
+            umask = os.umask(0)
+            os.umask(umask)
+            mode = 0o666 & ~umask
+        os.chmod(temp_path, mode)
+        os.replace(temp_path, path)
+    except BaseException:
+        # Never leave the temp file behind — the write failed, the target is
+        # untouched (that is the whole point of the replace dance).
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    # The rename itself must survive a power failure: fsync the directory so
+    # the new entry is on disk, not just in the page cache.
+    _fsync_directory(directory)
+    return path
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry to disk (best effort: some platforms refuse
+    to fsync directories; the file-content fsyncs still hold there)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _dump_line(entry: Dict[str, Any]) -> str:
+    """One canonical JSONL line (sorted keys, compact separators)."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+class Journal:
+    """An append-only JSONL write-ahead log with torn-tail recovery.
+
+    The first line is a header stamping the format and layout version; every
+    other line is one committed entry.  :meth:`append` flushes and fsyncs, so
+    an entry that was reported committed survives a crash; an append the
+    crash interrupted leaves at most one torn final line, which
+    :meth:`recover` drops and repairs.  :meth:`rewrite` compacts the journal
+    to a given entry list through :func:`atomic_write_text`.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"], fsync: bool = True):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._handle: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------ #
+    # reading / recovery
+    # ------------------------------------------------------------------ #
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def recover(self) -> Tuple[List[Dict[str, Any]], bool]:
+        """Load every committed entry; repair a torn final line if present.
+
+        Returns ``(entries, torn)`` where ``torn`` reports whether the file
+        ended in an incomplete line (a crash mid-append) that had to be
+        dropped.  When it did, the journal file is rewritten atomically
+        without the tail, so subsequent appends extend a clean file instead
+        of a corrupt one.  A missing file yields ``([], False)``; malformed
+        lines *before* the final one mean real corruption and raise
+        :class:`~repro.errors.StoreError`.
+        """
+        if not self.exists():
+            return [], False
+        self.close()
+        with open(self.path, "r", encoding="utf-8", newline="") as handle:
+            text = handle.read()
+        raw_lines = text.split("\n")
+        # A well-formed journal ends with "\n": the final split element is
+        # empty.  Anything else is the torn tail of an interrupted append.
+        lines = [line for line in raw_lines[:-1] if line.strip()]
+        tail = raw_lines[-1]
+        torn = bool(tail.strip())
+
+        entries: List[Dict[str, Any]] = []
+        for number, line in enumerate(lines, start=1):
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if number == len(lines) and not torn:
+                    # A torn line that *does* end in "\n" cannot happen from a
+                    # single interrupted append, but a crash between the
+                    # write of the newline and the fsync can surface either
+                    # way depending on the filesystem — treat a malformed
+                    # final line as torn too.
+                    torn = True
+                    break
+                raise StoreError(
+                    f"corrupt journal {self.path!r}: malformed entry on line "
+                    f"{number}: {exc}"
+                ) from exc
+            if not isinstance(entry, dict):
+                raise StoreError(
+                    f"corrupt journal {self.path!r}: line {number} is not an object"
+                )
+            entries.append(entry)
+
+        if entries:
+            self._check_header(entries[0])
+            entries = entries[1:]
+        elif lines or torn:
+            # There was content but no parseable header line: only plausible
+            # for a journal torn during its very first append — recover to
+            # the empty state.
+            torn = True
+
+        if torn:
+            self.rewrite(entries)
+        return entries, torn
+
+    def _check_header(self, header: Dict[str, Any]) -> None:
+        if header.get("format") != JOURNAL_FORMAT:
+            raise StoreError(
+                f"{self.path!r} is not a campaign-store journal (header "
+                f"format {header.get('format')!r})"
+            )
+        version = header.get("version")
+        if not isinstance(version, int) or version > JOURNAL_VERSION:
+            raise StoreError(
+                f"journal {self.path!r} written by layout version {version!r}; "
+                f"this library reads up to {JOURNAL_VERSION} — upgrade repro"
+            )
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Iterate the committed entries.
+
+        Delegates to :meth:`recover`, so a torn final line is dropped *and
+        repaired on disk* as a side effect; read the file directly for
+        forensics on a damaged journal.
+        """
+        entries, _ = self.recover()
+        return iter(entries)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def _header_line(self) -> str:
+        return _dump_line({"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION})
+
+    def _open_for_append(self) -> IO[str]:
+        if self._handle is not None and not self._handle.closed:
+            # Guard against a concurrent rewrite/repair having swapped the
+            # journal's inode out from under the open handle (e.g. `repro
+            # cache prune` while a campaign streams commits): appending to
+            # the orphaned old inode would silently lose every cell, so
+            # detect the swap and reopen the current file instead.
+            try:
+                if os.fstat(self._handle.fileno()).st_ino == os.stat(self.path).st_ino:
+                    return self._handle
+            except OSError:
+                pass
+            self.close()
+        fresh = not self.exists() or os.path.getsize(self.path) == 0
+        self._handle = open(self.path, "a", encoding="utf-8", newline="")
+        if fresh:
+            self._handle.write(self._header_line() + "\n")
+            # Make the journal's *directory entry* durable too: per-append
+            # fsyncs alone cannot save entries if a power cut erases the
+            # freshly created file's name from its directory.
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+                _fsync_directory(os.path.dirname(self.path) or ".")
+        return self._handle
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Durably append one entry (flush + fsync before returning)."""
+        handle = self._open_for_append()
+        handle.write(_dump_line(entry) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def rewrite(self, entries: List[Dict[str, Any]]) -> None:
+        """Atomically replace the journal's content (compaction / repair)."""
+        self.close()
+        lines = [self._header_line()]
+        lines.extend(_dump_line(entry) for entry in entries)
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily by the next append)."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<Journal {self.path!r}>"

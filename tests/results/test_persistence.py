@@ -142,3 +142,31 @@ class TestByteDeterminism:
         reversed_set = ResultSet(reversed(result_set.records), meta=result_set.meta)
         assert reversed_set.to_jsonl() == result_set.to_jsonl()
         assert reversed_set.to_csv() == result_set.to_csv()
+
+
+class TestAtomicSave:
+    """``save`` goes through temp-file + ``os.replace`` (the campaign store's
+    atomic-write helper): a crash mid-save can never truncate a results file."""
+
+    def test_save_leaves_no_temp_files(self, campaign_table, tmp_path):
+        campaign_table.result_set.save(tmp_path / "results.jsonl")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["results.jsonl"]
+
+    def test_interrupted_save_preserves_the_previous_file(
+        self, campaign_table, tmp_path, monkeypatch
+    ):
+        import os as _os
+
+        path = tmp_path / "results.jsonl"
+        campaign_table.result_set.save(path)
+        before = path.read_bytes()
+
+        def exploding_replace(*args, **kwargs):
+            raise OSError("simulated crash during replace")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            campaign_table.result_set.save(path)
+        # The previous complete file is intact — no truncated half-write.
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["results.jsonl"]

@@ -1,0 +1,69 @@
+"""Fingerprint invariance guard: execution-only knobs must not fragment keys.
+
+The store addresses cells by ``config_fingerprint``; if a knob that cannot
+change the numbers (``jobs``, ``progress`` observers, store settings) leaked
+into the fingerprint, every such knob combination would silently get its own
+cache namespace — warm runs would stop hitting and resumed campaigns would
+re-execute everything.  These tests pin the boundary from both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import SMOKE_SCALE, ExperimentConfig
+from repro.platform.middleware import MiddlewareConfig
+from repro.results import ProgressObserver, ResultSetObserver, config_fingerprint
+from repro.store import CampaignStore
+
+
+BASE = ExperimentConfig()
+
+
+class TestExecutionOnlyKnobsAreExcluded:
+    def test_jobs_does_not_change_the_fingerprint(self):
+        assert config_fingerprint(BASE) == config_fingerprint(BASE.with_jobs(8))
+        assert config_fingerprint(BASE) == config_fingerprint(BASE.with_jobs(64))
+
+    def test_progress_observer_does_not_change_the_fingerprint(self):
+        with_progress = replace(BASE, observers=(ProgressObserver(),))
+        assert config_fingerprint(BASE) == config_fingerprint(with_progress)
+
+    def test_result_set_observer_does_not_change_the_fingerprint(self):
+        observing = replace(BASE, observers=(ResultSetObserver(),))
+        assert config_fingerprint(BASE) == config_fingerprint(observing)
+
+    def test_store_does_not_change_the_fingerprint(self, tmp_path):
+        with_store = BASE.with_store(CampaignStore(tmp_path / "store"))
+        assert config_fingerprint(BASE) == config_fingerprint(with_store)
+        with_path_store = BASE.with_store(str(tmp_path / "other"))
+        assert config_fingerprint(BASE) == config_fingerprint(with_path_store)
+
+    def test_all_execution_knobs_together(self, tmp_path):
+        noisy = replace(
+            BASE,
+            jobs=16,
+            observers=(ProgressObserver(), ResultSetObserver()),
+            store=CampaignStore(tmp_path / "store"),
+        )
+        assert config_fingerprint(BASE) == config_fingerprint(noisy)
+
+
+class TestNumberDeterminingKnobsAreIncluded:
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda c: c.with_seed(2004),
+            lambda c: c.with_scale(SMOKE_SCALE),
+            lambda c: replace(c, low_rate_s=21.0),
+            lambda c: replace(c, high_rate_s=14.0),
+            lambda c: replace(c, heuristics=("mct", "msf")),
+            lambda c: replace(c, reference="msf", heuristics=("msf", "mct")),
+            lambda c: replace(c, middleware=MiddlewareConfig(memory_enabled=False)),
+        ],
+        ids=["seed", "scale", "low-rate", "high-rate", "heuristics", "reference", "middleware"],
+    )
+    def test_changing_the_numbers_changes_the_fingerprint(self, mutation):
+        assert config_fingerprint(BASE) != config_fingerprint(mutation(BASE))

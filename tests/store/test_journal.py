@@ -1,0 +1,153 @@
+"""Unit tests of the store's durability primitives (atomic writes, WAL)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.journal import JOURNAL_FORMAT, JOURNAL_VERSION, Journal, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        returned = atomic_write_text(path, "hello\n")
+        assert returned == str(path)
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x" * 10_000)
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_preserves_target_and_cleans_up(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+        monkeypatch.setattr(os, "replace", _raise_oserror)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "doomed")
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def _raise_oserror(*args, **kwargs):
+    raise OSError("simulated replace failure")
+
+
+class TestJournal:
+    def test_append_then_recover_round_trips(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "cell", "n": 1})
+        journal.append({"kind": "cell", "n": 2})
+        journal.close()
+        entries, torn = Journal(tmp_path / "j.jsonl").recover()
+        assert not torn
+        assert [e["n"] for e in entries] == [1, 2]
+
+    def test_missing_file_recovers_empty(self, tmp_path):
+        entries, torn = Journal(tmp_path / "absent.jsonl").recover()
+        assert entries == [] and not torn
+
+    def test_header_line_is_stamped_first(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append({"kind": "cell"})
+        journal.close()
+        first = json.loads((tmp_path / "j.jsonl").read_text().splitlines()[0])
+        assert first == {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION}
+
+    def test_torn_final_line_is_dropped_and_repaired(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        for n in range(3):
+            journal.append({"kind": "cell", "n": n})
+        journal.close()
+        text = path.read_text()
+        # Crash mid-append: the last line is cut, no trailing newline.
+        path.write_text(text[: len(text) - 10])
+        entries, torn = Journal(path).recover()
+        assert torn
+        assert [e["n"] for e in entries] == [0, 1]
+        # The repair is durable: a second recovery sees a clean journal.
+        entries2, torn2 = Journal(path).recover()
+        assert not torn2 and entries2 == entries
+
+    def test_append_after_torn_recovery_extends_cleanly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "cell", "n": 0})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "cell", "n')  # torn tail
+        recovered = Journal(path)
+        entries, torn = recovered.recover()
+        assert torn and [e["n"] for e in entries] == [0]
+        recovered.append({"kind": "cell", "n": 1})
+        recovered.close()
+        entries, torn = Journal(path).recover()
+        assert not torn
+        assert [e["n"] for e in entries] == [0, 1]
+
+    def test_corruption_in_the_middle_fails_loudly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "cell", "n": 0})
+        journal.append({"kind": "cell", "n": 1})
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage{{{"  # not the final line: a crash cannot do this
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="malformed entry on line 2"):
+            Journal(path).recover()
+
+    def test_wrong_format_header_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"format":"something-else","version":1}\n')
+        with pytest.raises(StoreError, match="not a campaign-store journal"):
+            Journal(path).recover()
+
+    def test_future_version_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION + 1}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(StoreError, match="layout version"):
+            Journal(path).recover()
+
+    def test_rewrite_compacts_atomically(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        for n in range(5):
+            journal.append({"kind": "cell", "n": n})
+        journal.rewrite([{"kind": "cell", "n": 99}])
+        entries, torn = Journal(path).recover()
+        assert not torn and [e["n"] for e in entries] == [99]
+        assert os.listdir(tmp_path) == ["j.jsonl"]
+
+    def test_torn_very_first_append_recovers_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"format":"repro-store-j')  # torn header
+        entries, torn = Journal(path).recover()
+        assert torn and entries == []
+
+    def test_append_survives_a_concurrent_rewrite(self, tmp_path):
+        """A maintenance rewrite (prune in another process) swaps the
+        journal's inode; a live writer must detect that and append to the
+        *current* file, not the orphaned old one."""
+        path = tmp_path / "j.jsonl"
+        writer = Journal(path)
+        writer.append({"kind": "cell", "n": 0})
+        # Another process compacts the journal behind the writer's back.
+        Journal(path).rewrite([{"kind": "cell", "n": 100}])
+        writer.append({"kind": "cell", "n": 1})
+        writer.close()
+        entries, torn = Journal(path).recover()
+        assert not torn
+        assert [e["n"] for e in entries] == [100, 1]

@@ -1,0 +1,176 @@
+"""Tests of the content-addressed cell cache (:mod:`repro.store.cache`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.results import SCHEMA_VERSION, RunRecord
+from repro.store import CampaignStore, CellEntry, CellKey, open_store
+
+
+def _key(**overrides) -> CellKey:
+    base = dict(
+        config_hash="abc123def456",
+        experiment_id="table5",
+        heuristic="mct",
+        metatask_index=0,
+        repetition=0,
+        seed=2003,
+    )
+    base.update(overrides)
+    return CellKey(**base)
+
+
+def _record(key: CellKey, **metrics) -> RunRecord:
+    return RunRecord(
+        experiment_id=key.experiment_id,
+        heuristic=key.heuristic,
+        metatask_index=key.metatask_index,
+        repetition=key.repetition,
+        seed=key.seed,
+        config_hash=key.config_hash,
+        metrics={"n_completed": 40.0, "sum_flow": 123.456789, **metrics},
+    )
+
+
+class TestCellKey:
+    def test_digest_is_stable(self):
+        assert _key().digest == _key().digest
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("config_hash", "other"),
+            ("experiment_id", "table6"),
+            ("heuristic", "msf"),
+            ("metatask_index", 1),
+            ("repetition", 1),
+            ("seed", 2004),
+            ("workload_hash", "other-workload"),
+            ("schema_version", SCHEMA_VERSION + 1),
+        ],
+    )
+    def test_every_field_changes_the_address(self, field, value):
+        assert _key().digest != _key(**{field: value}).digest
+
+    def test_json_round_trip(self):
+        key = _key()
+        assert CellKey.from_json_dict(key.to_json_dict()) == key
+
+
+class TestCampaignStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        entry = CellEntry(key=key, record=_record(key), completions={"t1": 12.25})
+        store.put(entry)
+        got = store.get(key)
+        assert got == entry
+        assert store.hits == 1 and store.misses == 0 and store.puts == 1
+
+    def test_miss_counts(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        assert store.get(_key()) is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_entries_survive_reopen(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        store.put(CellEntry(key=key, record=_record(key)))
+        store.close()
+        reopened = CampaignStore(tmp_path / "store")
+        assert len(reopened) == 1
+        got = reopened.get(key)
+        # Records round-trip byte-exactly through the journal (floats keep
+        # their shortest-repr text).
+        assert got.record == _record(key)
+        assert got.completions is None
+
+    def test_completion_floats_round_trip_exactly(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        completions = {"t1": 0.1 + 0.2, "t2": 1e-17, "t3": 123456.789012345}
+        store.put(CellEntry(key=key, record=_record(key), completions=completions))
+        store.close()
+        got = CampaignStore(tmp_path / "store").get(key)
+        assert got.completions == completions
+
+    def test_last_write_wins(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        store.put(CellEntry(key=key, record=_record(key, makespan=1.0)))
+        store.put(CellEntry(key=key, record=_record(key, makespan=2.0)))
+        assert store.get(key).record.metric("makespan") == 2.0
+        assert len(store) == 1  # the index deduplicates on the address
+
+    def test_prune_compacts_journal(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        k5, k6 = _key(), _key(experiment_id="table6")
+        store.put(CellEntry(key=k5, record=_record(k5)))
+        store.put(CellEntry(key=k6, record=_record(k6)))
+        removed = store.prune(lambda entry: entry.key.experiment_id == "table5")
+        assert removed == 1 and len(store) == 1
+        reopened = CampaignStore(tmp_path / "store")
+        assert reopened.peek(k5) is None and reopened.peek(k6) is not None
+
+    def test_prune_nothing_is_a_no_op(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        store.put(CellEntry(key=key, record=_record(key)))
+        assert store.prune(lambda entry: False) == 0
+        assert len(store) == 1
+
+    def test_stats_accumulate_across_sessions(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        store.get(key)  # miss
+        store.put(CellEntry(key=key, record=_record(key)))
+        store.get(key)  # hit
+        store.flush_stats()
+        store.close()
+        second = CampaignStore(tmp_path / "store")
+        second.get(key)  # hit
+        stats = second.stats()
+        assert stats == {
+            "hits": 2,
+            "misses": 1,
+            "puts": 1,
+            "entries": 1,
+            "experiments": ["table5"],
+        }
+        # Flushing twice never double-counts session activity.
+        second.flush_stats()
+        assert second.flush_stats()["hits"] == 2
+
+    def test_torn_journal_tail_recovers_remaining_cells(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        keys = [_key(repetition=r) for r in range(3)]
+        for key in keys:
+            store.put(CellEntry(key=key, record=_record(key)))
+        store.close()
+        journal_path = tmp_path / "store" / "journal.jsonl"
+        text = journal_path.read_text()
+        journal_path.write_text(text[: len(text) - 25])  # torn final append
+        recovered = CampaignStore(tmp_path / "store")
+        assert recovered.recovered_torn_tail
+        assert len(recovered) == 2
+        assert recovered.peek(keys[0]) is not None
+        assert recovered.peek(keys[2]) is None
+
+    def test_open_store_coercions(self, tmp_path):
+        store = open_store(tmp_path / "store")
+        assert isinstance(store, CampaignStore)
+        assert open_store(store) is store
+        assert open_store(None) is None
+        with pytest.raises(StoreError, match="cannot interpret"):
+            open_store(42)
+
+    def test_unknown_journal_kinds_are_ignored(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        key = _key()
+        store.put(CellEntry(key=key, record=_record(key)))
+        store.journal.append({"kind": "future-extension", "payload": 1})
+        store.close()
+        reopened = CampaignStore(tmp_path / "store")
+        assert len(reopened) == 1
