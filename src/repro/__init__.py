@@ -15,7 +15,11 @@ The library is organised in five layers (see DESIGN.md):
   provenance-stamped run records, the columnar queryable
   :class:`~repro.results.ResultSet` with JSONL/CSV persistence, and the
   stable ``api.run`` / ``api.sweep`` / ``api.load_results`` /
-  ``api.compare`` facade.
+  ``api.compare`` facade;
+* :mod:`repro.stats` — dependency-free statistics: Student-t confidence
+  intervals, MSER-5 warm-up detection, the sequential stopping rule behind
+  ``--ci-target`` / ``reps="auto"``, and the closed-form M/M/c validation
+  suite behind ``repro validate`` / ``api.validate``.
 
 Quickstart::
 

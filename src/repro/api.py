@@ -45,7 +45,7 @@ from .experiments.registry import run_experiment
 from .results import CampaignObserver, ResultDiff, ResultSet, diff_result_sets
 from .store import CampaignStore, open_store, resume_experiment
 
-__all__ = ["run", "sweep", "resume", "load_results", "save_results", "compare"]
+__all__ = ["run", "sweep", "resume", "validate", "load_results", "save_results", "compare"]
 
 #: Things accepted wherever a result set is expected: the set itself, a
 #: result object carrying one, or a path to a saved file.
@@ -63,6 +63,7 @@ def _resolve_config(
     jobs: Optional[int],
     observers: Sequence[CampaignObserver],
     store: Optional[StoreLike] = None,
+    ci_target: Optional[float] = None,
 ) -> ExperimentConfig:
     """Fold the keyword overrides into one :class:`ExperimentConfig`."""
     resolved = config if config is not None else ExperimentConfig()
@@ -85,6 +86,8 @@ def _resolve_config(
         )
     if store is not None:
         resolved = resolved.with_store(open_store(store))
+    if ci_target is not None:
+        resolved = resolved.with_ci_target(ci_target)
     return resolved
 
 
@@ -97,6 +100,7 @@ def run(
     jobs: Optional[int] = None,
     observers: Sequence[CampaignObserver] = (),
     store: Optional[StoreLike] = None,
+    ci_target: Optional[float] = None,
 ):
     """Run one registered experiment and return its result object.
 
@@ -115,11 +119,19 @@ def run(
     holds one :class:`~repro.results.RunRecord` per run — the table itself
     is a :meth:`~repro.results.ResultSet.pivot` view over those records.
 
+    ``ci_target`` switches table campaigns to **sequential stopping**:
+    repetition rounds are added until the relative 95% CI half-width of
+    every (heuristic, metatask) group's ``config.ci_metric`` is at most
+    this value (knobs: ``ExperimentConfig.ci_*``).  Cell means then render
+    as ``mean ± half-width`` and the convergence outcome lands in the table
+    notes.  It is a number-determining knob (it decides how many cells run)
+    and participates in the configuration fingerprint.
+
     Determinism contract: the records (hence the table, hence a saved
     results file) are identical for every ``jobs`` value and every store
     temperature.
     """
-    resolved = _resolve_config(config, scale, seed, jobs, observers, store)
+    resolved = _resolve_config(config, scale, seed, jobs, observers, store, ci_target)
     return run_experiment(experiment, resolved)
 
 
@@ -156,6 +168,7 @@ def sweep(
     metric: str = "sumflow",
     observers: Sequence[CampaignObserver] = (),
     store: Optional[StoreLike] = None,
+    ci_target: Optional[float] = None,
 ):
     """Run a scenario sweep and return its
     :class:`~repro.scenarios.sweep.ScenarioSweepResult`.
@@ -163,14 +176,47 @@ def sweep(
     ``scenarios`` defaults to every registered scenario; ``metric`` is the
     ranking tie-break (lower is better).  ``store`` attaches a campaign
     store shared by every scenario of the sweep — a warm sweep recovers all
-    its cells from the journal and executes zero simulations.  The returned
-    object carries every scenario's records in one combined ``result_set``
-    ready for :func:`save_results`.
+    its cells from the journal and executes zero simulations.  ``ci_target``
+    runs every scenario's campaign with sequential stopping (see
+    :func:`run`); the cross-scenario ranking then marks heuristics whose
+    CIs overlap as ties (``#r=``) instead of claiming a strict order.  The
+    returned object carries every scenario's records in one combined
+    ``result_set`` ready for :func:`save_results`.
     """
     from .scenarios import run_sweep  # deferred: keeps `import repro.api` light
 
-    resolved = _resolve_config(config, scale, seed, jobs, observers, store)
+    resolved = _resolve_config(config, scale, seed, jobs, observers, store, ci_target)
     return run_sweep(names=scenarios, config=resolved, metric=metric)
+
+
+def validate(
+    *,
+    seed: int = 2003,
+    quick: bool = False,
+    include_sequential: bool = True,
+    json_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+):
+    """Validate the simulator against closed-form queueing baselines.
+
+    Runs the analytical validation suite
+    (:func:`repro.stats.run_validation`): the fluid simulator's M/M/1 and
+    M/M/c mean response times must fall inside their 95% confidence
+    intervals around the exact Erlang-C values, and (unless
+    ``include_sequential`` is false) a sequential campaign must be
+    byte-identical at ``jobs=1`` and ``jobs=2``.  ``quick`` trades
+    statistical power for speed (CI smoke use).  Returns the
+    :class:`~repro.stats.ValidationReport`; check ``report.passed``.
+    ``json_path`` additionally writes the machine-readable report (the CI
+    artifact).  The shell form is ``repro validate``.
+    """
+    from .stats import run_validation  # deferred: keeps `import repro.api` light
+
+    report = run_validation(
+        seed=seed, quick=quick, include_sequential=include_sequential
+    )
+    if json_path is not None:
+        report.save_json(json_path)
+    return report
 
 
 def load_results(path: Union[str, "os.PathLike[str]"]) -> ResultSet:

@@ -33,11 +33,20 @@ interrupted campaigns and makes warm re-runs near-instant::
     repro cache ls runs/store --experiment table5
     repro cache prune runs/store --experiment table5
 
+The analytical validation suite checks the simulator against closed-form
+queueing theory (exit 0 = all checks pass)::
+
+    repro validate
+    repro validate --quick --json validation-report.json
+
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
 seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
 results are byte-identical for any value because run seeds derive from cell
-coordinates.  ``--progress`` streams one line per completed cell to stderr.
+coordinates.  ``--ci-target X`` switches campaigns to sequential stopping:
+repetitions are added until every cell's relative 95% CI half-width is at
+most ``X``, and cells print as ``mean ± half-width``.  ``--progress``
+streams one line per completed cell to stderr.
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ __all__ = [
     "build_results_parser",
     "build_campaign_parser",
     "build_cache_parser",
+    "build_validate_parser",
     "main",
 ]
 
@@ -102,6 +112,16 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "journaled there are recovered instead of simulated, fresh cells are "
         "committed as they complete — warm re-runs are near-instant and "
         "byte-identical; inspect with 'repro cache stats DIR'",
+    )
+    parser.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        metavar="X",
+        help="sequential stopping: add repetition rounds until the relative "
+        "95%% CI half-width of every (heuristic, metatask) group is <= X "
+        "(e.g. 0.05 = 5%%); cells then print as 'mean ± half-width' and the "
+        "convergence outcome lands in the table notes",
     )
 
 
@@ -210,6 +230,39 @@ def build_cache_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_validate_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro validate`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro validate",
+        description="Validate the simulator against closed-form queueing "
+        "theory: M/M/1 and M/M/c mean response times must fall inside their "
+        "95%% confidence intervals around the exact Erlang-C values, and a "
+        "sequential campaign must be byte-identical at jobs=1 and jobs=2. "
+        "Exits 0 when every check passes, 1 otherwise.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2003, help="root random seed (default: 2003)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller simulations (seconds instead of tens of seconds) — "
+        "the CI smoke configuration",
+    )
+    parser.add_argument(
+        "--skip-sequential",
+        action="store_true",
+        help="skip the sequential byte-identity check (queueing checks only)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="additionally write the machine-readable report to FILE "
+        "(the CI artifact)",
+    )
+    return parser
+
+
 def build_results_parser() -> argparse.ArgumentParser:
     """Build the parser of the ``repro results`` subcommand family."""
     parser = argparse.ArgumentParser(
@@ -264,9 +317,12 @@ def _config_from(args: argparse.Namespace, parser: argparse.ArgumentParser) -> E
             store = open_store(args.store)
         except (StoreError, OSError) as exc:
             parser.error(f"could not open store {args.store!r}: {exc}")
+    ci_target = getattr(args, "ci_target", None)
+    if ci_target is not None and ci_target <= 0:
+        parser.error("--ci-target must be > 0")
     return ExperimentConfig(
         scale=SCALES[args.scale], seed=args.seed, jobs=args.jobs,
-        observers=observers, store=store,
+        observers=observers, store=store, ci_target=ci_target,
     )
 
 
@@ -322,6 +378,7 @@ def _list_experiments() -> str:
         "campaign store: '--store DIR' on any campaign, 'repro campaign resume "
         "<id> --store DIR', 'repro cache stats|ls|prune DIR'"
     )
+    lines.append("analytical validation: 'repro validate [--quick] [--json FILE]'")
     return "\n".join(lines)
 
 
@@ -455,6 +512,30 @@ def _cache_main(argv: List[str]) -> int:
     return 0
 
 
+def _validate_main(argv: List[str]) -> int:
+    from .errors import ReproError
+    from .stats import run_validation
+
+    parser = build_validate_parser()
+    args = parser.parse_args(argv)
+    try:
+        report = run_validation(
+            seed=args.seed,
+            quick=args.quick,
+            include_sequential=not args.skip_sequential,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    print(report.render())
+    if args.json:
+        try:
+            report.save_json(args.json)
+        except OSError as exc:
+            parser.error(f"could not write {args.json!r}: {exc}")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def _results_main(argv: List[str]) -> int:
     from . import api
     from .errors import ResultsError
@@ -503,6 +584,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _campaign_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "validate":
+        return _validate_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

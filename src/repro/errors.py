@@ -22,6 +22,9 @@ __all__ = [
     "ExperimentError",
     "ResultsError",
     "StoreError",
+    "MetricsError",
+    "StatsError",
+    "ValidationFailure",
 ]
 
 
@@ -131,3 +134,18 @@ class ResultsError(ReproError):
 # --------------------------------------------------------------------------- #
 class StoreError(ReproError):
     """Error raised by the campaign store (cell cache, journal, resume)."""
+
+
+# --------------------------------------------------------------------------- #
+# Metrics / statistics
+# --------------------------------------------------------------------------- #
+class MetricsError(ReproError):
+    """Error raised by the metrics layer (aggregation, comparison, reports)."""
+
+
+class StatsError(ReproError):
+    """Error raised by the statistics subsystem (:mod:`repro.stats`)."""
+
+
+class ValidationFailure(StatsError):
+    """An analytical validation check failed (simulator vs closed form)."""

@@ -34,9 +34,10 @@ deprecated shim.
 from __future__ import annotations
 
 import inspect
+import math
 import multiprocessing
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.heuristics import Heuristic, create_heuristic
@@ -54,6 +55,7 @@ from ..results import (
     RunRecord,
     config_fingerprint,
 )
+from ..stats.sequential import StoppingDecision, StoppingRule
 from ..store.cache import CampaignStore, CellEntry, open_store, workload_fingerprint
 from ..store.resume import partition_cells
 from ..workload.metatask import Metatask
@@ -130,13 +132,25 @@ class CellWork:
     heuristic_factory: Optional[Heuristic] = None
 
 
-def plan_cells(config: ExperimentConfig, metatask_count: int) -> List[RunCell]:
+def plan_cells(
+    config: ExperimentConfig,
+    metatask_count: int,
+    rep_range: Optional[range] = None,
+) -> List[RunCell]:
     """Decompose an experiment into its cells, reference heuristic first.
 
     The order is the canonical assembly order (and the execution order of the
     serial executor): heuristics with the reference moved to the front, then
     metatasks, then repetitions.
+
+    ``rep_range`` restricts the plan to a slice of repetitions (default: all
+    of ``config.scale.repetitions``) — the sequential stopping mode plans one
+    round of *new* repetitions at a time, and because seeds derive from cell
+    coordinates, ``plan(range(0, 4))`` is cell-for-cell identical to
+    ``plan(range(0, 2)) + plan(range(2, 4))`` reassembled per heuristic.
     """
+    if rep_range is None:
+        rep_range = range(config.scale.repetitions)
     heuristics: List[str] = list(config.heuristics)
     if config.reference in heuristics:
         heuristics.remove(config.reference)
@@ -150,7 +164,7 @@ def plan_cells(config: ExperimentConfig, metatask_count: int) -> List[RunCell]:
         )
         for name in heuristics
         for metatask_index in range(metatask_count)
-        for repetition in range(config.scale.repetitions)
+        for repetition in rep_range
     ]
 
 
@@ -448,48 +462,93 @@ class _CampaignAssembler:
                 observer.on_cell_complete(index, len(self.cells), record)
 
 
-def run_campaign(
+def _resolve_repetitions(
+    config: ExperimentConfig,
+    reps: Optional[Union[int, str]],
+    ci_target: Optional[float],
+) -> Tuple[ExperimentConfig, Optional[StoppingRule]]:
+    """Fold the ``reps``/``ci_target`` arguments into the configuration.
+
+    Returns the (possibly updated) configuration and the
+    :class:`~repro.stats.StoppingRule` driving sequential mode, or ``None``
+    for a fixed-repetition campaign.  ``ci_target`` is folded into the
+    config *before* any record is stamped, so the fingerprint of a
+    sequential campaign always covers its stopping knobs.
+    """
+    if ci_target is not None:
+        config = replace(config, ci_target=ci_target)
+    if reps == "auto":
+        if config.ci_target is None:
+            raise ExperimentError(
+                'reps="auto" requires a CI target (the ci_target argument or '
+                "ExperimentConfig.ci_target)"
+            )
+        sequential = True
+    elif reps is None:
+        # A configuration carrying a CI target means "run until converged".
+        sequential = config.ci_target is not None
+    elif isinstance(reps, int) and not isinstance(reps, bool):
+        if reps < 1:
+            raise ExperimentError(f"reps must be >= 1, got {reps}")
+        if reps != config.scale.repetitions:
+            config = replace(config, scale=replace(config.scale, repetitions=reps))
+        sequential = False
+    else:
+        raise ExperimentError(f"reps must be an int or 'auto', got {reps!r}")
+    if not sequential:
+        return config, None
+    rule = StoppingRule(
+        ci_target=config.ci_target,
+        metric=config.ci_metric,
+        confidence=config.ci_confidence,
+        min_reps=config.ci_min_reps,
+        max_reps=config.ci_max_reps,
+    )
+    return config, rule
+
+
+def _metric_groups(
+    assemblers: Sequence[_CampaignAssembler], metric: str
+) -> Dict[Tuple[str, int], List[float]]:
+    """Stopping-rule groups over every record assembled so far.
+
+    Pure function of the record data — independent of ``jobs``, executor and
+    store state — which is what makes the stop decision (and therefore the
+    repetition count) byte-identical across serial and parallel runs.
+    """
+    groups: Dict[Tuple[str, int], List[float]] = {}
+    for assembler in assemblers:
+        for record in assembler.result_set:
+            value = record.metrics.get(metric)
+            if value is None:
+                continue
+            groups.setdefault((record.heuristic, record.metatask_index), []).append(
+                float(value)
+            )
+    return groups
+
+
+def _run_round(
     experiment_id: str,
-    title: str,
     platform: PlatformSpec,
     metatasks: Sequence[Metatask],
     config: ExperimentConfig,
-    catalogue: ProblemCatalogue = PAPER_CATALOGUE,
-    heuristic_factories: Optional[Mapping[str, Heuristic]] = None,
-    notes: Optional[List[str]] = None,
-    jobs: Optional[int] = None,
-    executor: Optional[CellExecutor] = None,
-    observers: Sequence[CampaignObserver] = (),
-    store: Optional[Union[CampaignStore, str]] = None,
-):
-    """Run a full table campaign and assemble its :class:`TableResult`.
+    catalogue: ProblemCatalogue,
+    heuristic_factories: Optional[Mapping[str, Heuristic]],
+    executor: CellExecutor,
+    observers: Sequence[CampaignObserver],
+    store: Optional[CampaignStore],
+    rep_range: Optional[range] = None,
+) -> Tuple[_CampaignAssembler, List[RunCell]]:
+    """Plan, execute and assemble one round of repetitions.
 
-    ``jobs`` defaults to ``config.jobs``; an explicit ``executor`` (anything
-    mapping an ordered list of :class:`CellWork` to an ordered list of
-    :class:`RunResult`, optionally streaming each result through an
-    ``on_result(index, result)`` keyword callback) overrides both — the
-    pluggable backend hook.
-
-    ``store`` (or ``config.store``) attaches a
-    :class:`~repro.store.CampaignStore`: the plan is diffed against the
-    store's journal first, journaled cells are recovered without simulating
-    (the executor only ever sees the missing ones), and every freshly
-    executed cell is durably committed before it counts as done.  A fully
-    warm store therefore replays the whole campaign with *zero* simulations,
-    and a campaign killed mid-flight resumes from its journal — in both
-    cases the records, the table and any saved file are byte-identical to a
-    cold, uninterrupted run.  ``TableResult.cache_info`` reports the
-    recovered/executed split.
-
-    As cells complete, one :class:`~repro.results.RunRecord` per cell is
-    assembled in planned order and streamed to ``observers`` (plus any
-    observers attached to ``config.observers``).  The returned table carries
-    the full record set on ``TableResult.result_set`` — ``table.columns`` is
-    exactly ``table.result_set.pivot().columns``, i.e. the table is a pure
-    view over the records.
+    A fixed-repetition campaign is exactly one round covering every
+    repetition; sequential mode calls this once per stopping-rule round with
+    the new repetition slice.  Each round is self-contained: its reference
+    cells come first in its own plan, so "tasks finishing sooner"
+    comparisons always pair within the round that ran them.
     """
-    metatasks = list(metatasks)
-    cells = plan_cells(config, len(metatasks))
+    cells = plan_cells(config, len(metatasks), rep_range=rep_range)
     work_items = [
         CellWork(
             cell=cell,
@@ -501,11 +560,6 @@ def run_campaign(
         )
         for cell in cells
     ]
-    if executor is None:
-        executor = create_executor(config.jobs if jobs is None else jobs)
-
-    store = open_store(store if store is not None else getattr(config, "store", None))
-    all_observers = list(observers) + list(getattr(config, "observers", ()) or ())
 
     if store is None:
         partition = None
@@ -528,9 +582,18 @@ def run_campaign(
         if not partition.hits:
             # A resume with the wrong --scale/--seed looks exactly like a
             # cold run: same experiment id, different config hash, zero
-            # hits.  Warn *before* hours of re-simulation, not after.
+            # hits.  Warn *before* hours of re-simulation, not after.  Only
+            # *mismatching* keys count as stale: entries for the same
+            # configuration but other repetition coordinates are simply
+            # earlier rounds of a sequential campaign, not a problem.
             stale = sum(
-                1 for e in store.entries() if e.key.experiment_id == experiment_id
+                1
+                for e in store.entries()
+                if e.key.experiment_id == experiment_id
+                and (
+                    e.key.config_hash != config_hash
+                    or e.key.workload_hash != workload_hash
+                )
             )
             if stale:
                 warnings.warn(
@@ -542,10 +605,10 @@ def run_campaign(
                 )
 
     assembler = _CampaignAssembler(
-        experiment_id, cells, work_items, config, all_observers,
+        experiment_id, cells, work_items, config, observers,
         store=store, cell_keys=cell_keys,
     )
-    for observer in all_observers:
+    for observer in observers:
         observer.on_campaign_start(experiment_id, len(cells))
     if partition is not None:
         for index, entry in partition.hits.items():
@@ -574,17 +637,140 @@ def run_campaign(
         raise ExperimentError(
             f"assembled {assembler.processed} cells out of {len(cells)}"
         )
+    return assembler, cells
 
-    # Truncated runs (the middleware safety horizon fired) must not be
-    # silently averaged with complete ones: surface them in the table notes.
-    # Records are assembled in planned cell order, so zipping them against
-    # the plan is exact — and works for recovered cells, which have no
-    # RunResult, because the record carries the truncation flag.
-    truncated_cells = [
-        f"{cell.heuristic}/metatask{cell.metatask_index}/rep{cell.repetition}"
-        for cell, record in zip(cells, assembler.result_set)
-        if record.truncated
-    ]
+
+def run_campaign(
+    experiment_id: str,
+    title: str,
+    platform: PlatformSpec,
+    metatasks: Sequence[Metatask],
+    config: ExperimentConfig,
+    catalogue: ProblemCatalogue = PAPER_CATALOGUE,
+    heuristic_factories: Optional[Mapping[str, Heuristic]] = None,
+    notes: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[CellExecutor] = None,
+    observers: Sequence[CampaignObserver] = (),
+    store: Optional[Union[CampaignStore, str]] = None,
+    reps: Optional[Union[int, str]] = None,
+    ci_target: Optional[float] = None,
+):
+    """Run a full table campaign and assemble its :class:`TableResult`.
+
+    ``jobs`` defaults to ``config.jobs``; an explicit ``executor`` (anything
+    mapping an ordered list of :class:`CellWork` to an ordered list of
+    :class:`RunResult`, optionally streaming each result through an
+    ``on_result(index, result)`` keyword callback) overrides both — the
+    pluggable backend hook.
+
+    ``reps`` controls the repetition count: an ``int`` overrides
+    ``config.scale.repetitions`` (fixed mode), and the string ``"auto"``
+    switches to **sequential stopping** — the campaign runs rounds of
+    repetitions until the relative ``config.ci_confidence`` Student-t CI
+    half-width of ``config.ci_metric`` is at most ``ci_target`` for every
+    (heuristic, metatask) group, or ``config.ci_max_reps`` is exhausted
+    (surfaced as a table note either way).  ``ci_target`` here overrides
+    ``config.ci_target``; a config carrying a CI target runs sequentially
+    even without ``reps="auto"``.  The stop decision is a pure function of
+    the assembled records and seeds derive from cell coordinates, so a
+    sequential campaign is byte-identical at any ``jobs`` level and across
+    store-warm resumes — exactly like fixed mode.
+
+    ``store`` (or ``config.store``) attaches a
+    :class:`~repro.store.CampaignStore`: the plan is diffed against the
+    store's journal first, journaled cells are recovered without simulating
+    (the executor only ever sees the missing ones), and every freshly
+    executed cell is durably committed before it counts as done.  A fully
+    warm store therefore replays the whole campaign with *zero* simulations,
+    and a campaign killed mid-flight resumes from its journal — in both
+    cases the records, the table and any saved file are byte-identical to a
+    cold, uninterrupted run.  ``TableResult.cache_info`` reports the
+    recovered/executed split.
+
+    As cells complete, one :class:`~repro.results.RunRecord` per cell is
+    assembled in planned order and streamed to ``observers`` (plus any
+    observers attached to ``config.observers``); in sequential mode
+    ``on_campaign_start`` fires once per round (cell indices and totals are
+    per-round) while ``on_campaign_end`` fires once, with the merged record
+    set.  The returned table carries the full record set on
+    ``TableResult.result_set`` — ``table.columns`` is exactly
+    ``table.result_set.pivot().columns``, i.e. the table is a pure view over
+    the records.
+    """
+    metatasks = list(metatasks)
+    config, rule = _resolve_repetitions(config, reps, ci_target)
+    if executor is None:
+        executor = create_executor(config.jobs if jobs is None else jobs)
+    store = open_store(store if store is not None else getattr(config, "store", None))
+    all_observers = list(observers) + list(getattr(config, "observers", ()) or ())
+
+    rounds: List[Tuple[_CampaignAssembler, List[RunCell]]] = []
+    decision: Optional[StoppingDecision] = None
+    if rule is None:
+        rounds.append(
+            _run_round(
+                experiment_id, platform, metatasks, config, catalogue,
+                heuristic_factories, executor, all_observers, store,
+            )
+        )
+        total_reps = config.scale.repetitions
+    else:
+        total_reps = rule.initial_reps(config.scale.repetitions)
+        start = 0
+        while True:
+            rounds.append(
+                _run_round(
+                    experiment_id, platform, metatasks, config, catalogue,
+                    heuristic_factories, executor, all_observers, store,
+                    rep_range=range(start, total_reps),
+                )
+            )
+            groups = _metric_groups([a for a, _ in rounds], rule.metric)
+            if not groups:
+                raise ExperimentError(
+                    f"sequential stopping metric {rule.metric!r} appears on no "
+                    "record — check ExperimentConfig.ci_metric against the "
+                    "recorded metric names"
+                )
+            decision = rule.assess(groups)
+            if decision.satisfied or total_reps >= rule.max_reps:
+                break
+            start = total_reps
+            total_reps = rule.next_reps(total_reps)
+
+    # Merge the rounds, in order, into one record stream.  Record order is a
+    # pure function of the plan (rounds, then planned cell order within each
+    # round), so it is identical for any executor.
+    result_set = ResultSet()
+    outcomes: Dict[str, object] = {}
+    recovered = 0
+    executed = 0
+    truncated_cells: List[str] = []
+    for assembler, cells in rounds:
+        for record in assembler.result_set:
+            result_set.append(record)
+        for name, outcome in assembler.outcomes.items():
+            merged = outcomes.get(name)
+            if merged is None:
+                outcomes[name] = outcome
+            else:
+                merged.runs.extend(outcome.runs)
+                merged.summaries.extend(outcome.summaries)
+                merged.comparisons.extend(outcome.comparisons)
+        recovered += assembler.recovered
+        executed += assembler.executed
+        # Truncated runs (the middleware safety horizon fired) must not be
+        # silently averaged with complete ones: surface them in the table
+        # notes.  Records are assembled in planned cell order, so zipping
+        # them against the plan is exact — and works for recovered cells,
+        # which have no RunResult, because the record carries the flag.
+        truncated_cells.extend(
+            f"{cell.heuristic}/metatask{cell.metatask_index}/rep{cell.repetition}"
+            for cell, record in zip(cells, assembler.result_set)
+            if record.truncated
+        )
+
     notes = list(notes or [])
     if truncated_cells:
         notes.append(
@@ -592,17 +778,46 @@ def run_campaign(
             f"truncated (in-flight tasks failed as 'horizon'): "
             + ", ".join(truncated_cells)
         )
+    if rule is not None and decision is not None:
+        worst_rel = decision.worst.relative_half_width
+        worst_text = "inf" if not math.isfinite(worst_rel) else f"{worst_rel:.4f}"
+        if decision.satisfied:
+            notes.append(
+                f"sequential stopping: {rule.metric} relative CI half-width <= "
+                f"{rule.ci_target:g} at {int(rule.confidence * 100)}% confidence "
+                f"after {total_reps} repetition(s) in {len(rounds)} round(s) "
+                f"(worst group {worst_text})"
+            )
+        else:
+            notes.append(
+                f"WARNING: sequential stopping exhausted ci_max_reps="
+                f"{rule.max_reps} without reaching CI target {rule.ci_target:g} "
+                f"on {rule.metric} (worst group relative half-width "
+                f"{worst_text}); means below are unconverged"
+            )
 
-    result_set = assembler.result_set
+    config_hash = rounds[0][0].config_hash
     result_set.meta = {
         "experiment_id": experiment_id,
         "title": title,
         "notes": notes,
-        "config_hash": assembler.config_hash,
+        "config_hash": config_hash,
         "scale": config.scale.name,
         "seed": config.seed,
         "reference": config.reference,
     }
+    if rule is not None and decision is not None:
+        result_set.meta["sequential"] = {
+            "ci_target": rule.ci_target,
+            "metric": rule.metric,
+            "confidence": rule.confidence,
+            "repetitions": total_reps,
+            "rounds": len(rounds),
+            "converged": decision.satisfied,
+            "worst_relative_half_width": (
+                None if not math.isfinite(worst_rel) else round(worst_rel, 6)
+            ),
+        }
     if store is not None:
         store.flush_stats()
     for observer in all_observers:
@@ -613,6 +828,6 @@ def run_campaign(
     # that need more than the aggregated numbers.  ``outcomes`` only covers
     # *executed* cells — recovered cells contribute records, not live runs.
     table = result_set.pivot()
-    table.outcomes = assembler.outcomes
-    table.cache_info = {"recovered": assembler.recovered, "executed": assembler.executed}
+    table.outcomes = outcomes
+    table.cache_info = {"recovered": recovered, "executed": executed}
     return table

@@ -105,6 +105,21 @@ class ExperimentConfig:
     #: change numbers, so it is excluded from the configuration fingerprint —
     #: cold and warm runs stamp identical hashes.
     store: Optional[object] = None
+    #: Sequential stopping target: when set, campaigns run repetition rounds
+    #: until the relative 95% CI half-width of every (heuristic, metatask)
+    #: group's ``ci_metric`` drops to this value (or ``ci_max_reps`` is hit).
+    #: **Number-determining** — it changes how many cells run — so it
+    #: participates in the configuration fingerprint, unlike ``jobs``.
+    ci_target: Optional[float] = None
+    #: Record metric the stopping rule watches (a per-run metric name).
+    ci_metric: str = "sum_flow"
+    #: Confidence level of the stopping rule's intervals.
+    ci_confidence: float = 0.95
+    #: Floor on repetitions before the rule may stop (t intervals over 2
+    #: values are too wide to trust a stop decision on).
+    ci_min_reps: int = 3
+    #: Repetition budget: a non-converging campaign stops here with a note.
+    ci_max_reps: int = 32
 
     def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
         """Return a copy using a different scale."""
@@ -121,6 +136,14 @@ class ExperimentConfig:
     def with_store(self, store) -> "ExperimentConfig":
         """Return a copy attached to a campaign store (or a store path)."""
         return replace(self, store=store)
+
+    def with_ci_target(self, ci_target: Optional[float], **knobs) -> "ExperimentConfig":
+        """Return a copy with a sequential stopping target (``None`` disables).
+
+        Extra keyword arguments set the other stopping knobs, e.g.
+        ``config.with_ci_target(0.05, ci_max_reps=16)``.
+        """
+        return replace(self, ci_target=ci_target, **knobs)
 
     def middleware_for(self, heuristic: str, seed_offset: int = 0) -> MiddlewareConfig:
         """Middleware configuration for a given heuristic run."""

@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..core.heuristics import Heuristic
 from ..metrics.aggregate import aggregate_values
 from ..metrics.comparison import PairwiseComparison
 from ..metrics.flow import MetricSummary
-from ..metrics.report import render_markdown_table, render_table
+from ..metrics.report import format_mean_ci, render_markdown_table, render_table
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
 from ..results import ResultSet
@@ -89,6 +89,12 @@ class TableResult:
     #: ``{"recovered": cells served from the journal, "executed": cells
     #: simulated}``.  ``None`` for tables not built by ``run_campaign``.
     cache_info: Optional[Dict[str, int]] = None
+    #: Full per-cell :class:`~repro.metrics.aggregate.Aggregate` objects
+    #: behind ``columns`` (``columns[h][row] == aggregates[h][row].mean``).
+    #: Populated by :meth:`~repro.results.ResultSet.pivot`; ``None`` for
+    #: hand-built tables.  Cells with two or more repetitions render as
+    #: ``mean ± half-width`` (95% Student-t).
+    aggregates: Optional[Dict[str, Dict[str, Any]]] = None
 
     def column(self, heuristic: str) -> Dict[str, float]:
         """The column (metric → value) of one heuristic."""
@@ -98,10 +104,38 @@ class TableResult:
         """One cell of the table."""
         return self.columns[heuristic][row]
 
+    def cell_aggregate(self, heuristic: str, row: str):
+        """The :class:`~repro.metrics.aggregate.Aggregate` behind one cell
+        (``None`` when the table carries no aggregates)."""
+        if self.aggregates is None:
+            return None
+        return self.aggregates.get(heuristic, {}).get(row)
+
+    def _display_columns(self) -> Dict[str, Dict[str, Any]]:
+        """Render-ready cells: ``mean ± half-width`` where a CI exists.
+
+        Single-repetition cells (and tables without aggregates) keep their
+        bare mean, so reps=1 campaigns render exactly as they always did.
+        """
+        if not self.aggregates:
+            return self.columns
+        display: Dict[str, Dict[str, Any]] = {}
+        for name, rows in self.columns.items():
+            column_aggregates = self.aggregates.get(name, {})
+            cells: Dict[str, Any] = {}
+            for row, value in rows.items():
+                aggregate = column_aggregates.get(row)
+                if aggregate is not None and aggregate.n >= 2:
+                    cells[row] = format_mean_ci(value, aggregate.half_ci95)
+                else:
+                    cells[row] = value
+            display[name] = cells
+        return display
+
     def render(self) -> str:
         """Aligned plain-text rendering (same layout as the paper's tables)."""
         return render_table(
-            self.columns,
+            self._display_columns(),
             title=self.title,
             column_order=[h for h in PAPER_HEURISTIC_ORDER if h in self.columns],
             row_order=[r for r in TABLE_ROW_ORDER if any(r in c for c in self.columns.values())],
@@ -111,7 +145,7 @@ class TableResult:
     def render_markdown(self) -> str:
         """Markdown rendering for EXPERIMENTS.md."""
         return render_markdown_table(
-            self.columns,
+            self._display_columns(),
             column_order=[h for h in PAPER_HEURISTIC_ORDER if h in self.columns],
             row_order=[r for r in TABLE_ROW_ORDER if any(r in c for c in self.columns.values())],
             notes=self.notes,

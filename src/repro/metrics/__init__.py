@@ -5,6 +5,7 @@ from .comparison import (
     PairwiseComparison,
     compare_runs,
     cross_scenario_ranking,
+    rank_heuristic_groups,
     rank_heuristics,
     tasks_finishing_sooner,
 )
@@ -19,7 +20,7 @@ from .flow import (
     sum_flow,
     summarize,
 )
-from .report import format_value, render_markdown_table, render_table
+from .report import format_mean_ci, format_value, render_markdown_table, render_table
 
 __all__ = [
     "Aggregate",
@@ -29,6 +30,7 @@ __all__ = [
     "compare_runs",
     "tasks_finishing_sooner",
     "rank_heuristics",
+    "rank_heuristic_groups",
     "cross_scenario_ranking",
     "MetricSummary",
     "makespan",
@@ -40,6 +42,7 @@ __all__ = [
     "stretches",
     "summarize",
     "format_value",
+    "format_mean_ci",
     "render_markdown_table",
     "render_table",
 ]

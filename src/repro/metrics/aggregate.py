@@ -2,24 +2,45 @@
 
 Tables 7 and 8 of the paper report, for each of three metatasks, the mean of
 several executions per heuristic (plus the per-metatask values).  This module
-provides the small statistics needed: mean, standard deviation, and a normal
-approximation confidence interval — enough for the reproduction reports.
+provides the small statistics needed: mean, standard deviation, and a
+Student-t confidence interval whose multiplier honours the actual sample
+size (at n=5 the 95% multiplier is 2.776, not the normal approximation's
+1.96 — a z interval would understate the width by ~40%).
+
+An *empty* aggregate (no values) is explicit: ``n == 0`` and NaN statistics,
+so it can never be mistaken for a real measurement of 0.0; reports render it
+as ``-``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
+from ..stats.student import two_sided_t
 from .flow import MetricSummary
 
 __all__ = ["Aggregate", "aggregate_values", "aggregate_summaries"]
 
 
+def _json_safe(value: float) -> Optional[float]:
+    """Round for display; NaN becomes ``None`` (JSON has no NaN literal)."""
+    if math.isnan(value):
+        return None
+    return round(value, 3)
+
+
 @dataclass(frozen=True)
 class Aggregate:
-    """Mean / spread of one scalar metric across runs."""
+    """Mean / spread of one scalar metric across runs.
+
+    ``n == 0`` marks an *empty* aggregate: every statistic is NaN and
+    :attr:`is_empty` is true.  NaN (unlike the all-zeros sentinel this
+    replaced) propagates through arithmetic and compares unequal to
+    everything, so an absent measurement can never silently masquerade as a
+    measured 0.0.
+    """
 
     n: int
     mean: float
@@ -28,29 +49,48 @@ class Aggregate:
     maximum: float
 
     @property
-    def half_ci95(self) -> float:
-        """Half-width of a 95% normal-approximation confidence interval."""
-        if self.n <= 1:
-            return 0.0
-        return 1.96 * self.std / math.sqrt(self.n)
+    def is_empty(self) -> bool:
+        """Whether the aggregate was computed over zero values."""
+        return self.n == 0
 
-    def as_dict(self) -> Dict[str, float]:
-        """Plain dictionary view."""
+    @property
+    def half_ci95(self) -> float:
+        """Half-width of a 95% Student-t confidence interval (t at n−1 dof).
+
+        NaN when empty, 0.0 for a single value (no spread estimate exists,
+        and callers historically rely on the 0.0 — use
+        :func:`repro.stats.t_interval` for the strict variant that refuses
+        n < 2).
+        """
+        if self.is_empty:
+            return math.nan
+        if self.n == 1:
+            return 0.0
+        return two_sided_t(0.95, self.n - 1) * self.std / math.sqrt(self.n)
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """Plain dictionary view (JSON-safe: NaN statistics become None)."""
         return {
             "n": self.n,
-            "mean": round(self.mean, 3),
-            "std": round(self.std, 3),
-            "min": round(self.minimum, 3),
-            "max": round(self.maximum, 3),
-            "ci95": round(self.half_ci95, 3),
+            "mean": _json_safe(self.mean),
+            "std": _json_safe(self.std),
+            "min": _json_safe(self.minimum),
+            "max": _json_safe(self.maximum),
+            "ci95": _json_safe(self.half_ci95),
         }
 
 
 def aggregate_values(values: Iterable[float]) -> Aggregate:
-    """Aggregate a sequence of scalar values."""
+    """Aggregate a sequence of scalar values.
+
+    An empty sequence yields the explicit empty aggregate (``n=0``, NaN
+    statistics) — see :class:`Aggregate`.
+    """
     data = [float(v) for v in values]
     if not data:
-        return Aggregate(n=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+        return Aggregate(
+            n=0, mean=math.nan, std=math.nan, minimum=math.nan, maximum=math.nan
+        )
     n = len(data)
     mean = sum(data) / n
     variance = sum((v - mean) ** 2 for v in data) / (n - 1) if n > 1 else 0.0

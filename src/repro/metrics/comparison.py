@@ -11,8 +11,9 @@ claim that this heuristic, to the user point of view, outperforms MCT"
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..workload.tasks import Task
 from .report import format_value
@@ -24,6 +25,7 @@ __all__ = [
     "tasks_finishing_sooner",
     "compare_runs",
     "rank_heuristics",
+    "rank_heuristic_groups",
     "cross_scenario_ranking",
 ]
 
@@ -171,9 +173,73 @@ def rank_heuristics(
     return sorted(columns, key=sort_key)
 
 
+def _metric_interval(aggregate) -> Optional[Tuple[float, float]]:
+    """The ``[mean − half, mean + half]`` band of one cell aggregate.
+
+    ``None`` when no usable interval exists (an empty aggregate): a missing
+    band never produces a tie.  A single-repetition aggregate has a
+    zero-width band, so it only ever ties an *exactly equal* mean.
+    """
+    mean = aggregate.mean
+    if not math.isfinite(mean):
+        return None
+    half = aggregate.half_ci95
+    if not math.isfinite(half):
+        half = 0.0
+    return (mean - half, mean + half)
+
+
+def rank_heuristic_groups(
+    columns: Mapping[str, Mapping[str, float]],
+    metric: str = "sumflow",
+    aggregates: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[List[str]]:
+    """Rank heuristics into **significance-aware tie groups**, best first.
+
+    The order within and across groups is exactly
+    :func:`rank_heuristics`'s strict total order; what this adds is the
+    grouping: two *adjacent* heuristics fall into the same group when their
+    95% confidence intervals on ``metric`` overlap (and they completed the
+    same number of tasks) — the data cannot distinguish them, so "A beats B"
+    would overclaim.  Groups chain transitively, as in the classic
+    underline notation of paired-comparison tables.
+
+    ``aggregates`` is a ``TableResult.aggregates``-shaped mapping (heuristic
+    → {metric row: :class:`~repro.metrics.aggregate.Aggregate`}).  Without it
+    (or for heuristics missing from it) every group is a singleton and the
+    result degrades to the strict ranking — single-repetition tables never
+    invent ties.
+    """
+    ranked = rank_heuristics(columns, metric=metric)
+    if not aggregates:
+        return [[name] for name in ranked]
+
+    def ties(a: str, b: str) -> bool:
+        if columns[a].get("completed tasks") != columns[b].get("completed tasks"):
+            return False
+        agg_a = aggregates.get(a, {}).get(metric)
+        agg_b = aggregates.get(b, {}).get(metric)
+        if agg_a is None or agg_b is None:
+            return False
+        band_a = _metric_interval(agg_a)
+        band_b = _metric_interval(agg_b)
+        if band_a is None or band_b is None:
+            return False
+        return band_a[0] <= band_b[1] and band_b[0] <= band_a[1]
+
+    groups: List[List[str]] = []
+    for name in ranked:
+        if groups and ties(groups[-1][-1], name):
+            groups[-1].append(name)
+        else:
+            groups.append([name])
+    return groups
+
+
 def cross_scenario_ranking(
     scenario_columns: Mapping[str, Mapping[str, Mapping[str, float]]],
     metric: str = "sumflow",
+    scenario_aggregates: Optional[Mapping[str, Mapping]] = None,
 ) -> Dict[str, Dict[str, str]]:
     """Build the cross-scenario summary table ranking heuristics per regime.
 
@@ -187,6 +253,12 @@ def cross_scenario_ranking(
     for byte.  Scenarios missing a heuristic get a ``"-"`` cell rather than
     an error, so sweeps over scenarios with different heuristic sets still
     render.
+
+    ``scenario_aggregates`` (scenario name → ``TableResult.aggregates``)
+    switches on significance-aware ties: heuristics whose CIs overlap (see
+    :func:`rank_heuristic_groups`) share a competition rank and the cell is
+    marked ``#r=`` — ``#2= (sumflow 104.1)`` reads "tied for 2nd".  Without
+    it the cells are exactly the strict-ranking cells of earlier versions.
     """
     heuristics: List[str] = []
     for columns in scenario_columns.values():
@@ -196,12 +268,20 @@ def cross_scenario_ranking(
 
     table: Dict[str, Dict[str, str]] = {name: {} for name in heuristics}
     for scenario, columns in scenario_columns.items():
-        ranked = rank_heuristics(columns, metric=metric)
-        positions = {name: i + 1 for i, name in enumerate(ranked)}
+        aggregates = (scenario_aggregates or {}).get(scenario)
+        groups = rank_heuristic_groups(columns, metric=metric, aggregates=aggregates)
+        positions: Dict[str, Tuple[int, bool]] = {}
+        rank = 1
+        for group in groups:
+            for name in group:
+                positions[name] = (rank, len(group) > 1)
+            rank += len(group)
         for name in heuristics:
             if name in columns:
                 value = format_value(columns[name].get(metric))
-                table[name][scenario] = f"#{positions[name]} ({metric} {value})"
+                rank, tied = positions[name]
+                marker = "=" if tied else ""
+                table[name][scenario] = f"#{rank}{marker} ({metric} {value})"
             else:
                 table[name][scenario] = "-"
     return table

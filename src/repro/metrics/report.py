@@ -8,28 +8,61 @@ heuristic, one row per metric) and as Markdown for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["render_table", "render_markdown_table", "format_value"]
+__all__ = ["render_table", "render_markdown_table", "format_value", "format_mean_ci"]
 
 Number = Union[int, float, str, None]
 
+#: Tolerance of the near-integer detection.  One threshold for *every*
+#: magnitude: the old code only collapsed near-integers at |v| >= 100, so
+#: 99.9999999 rendered as "100.00" while 100.0 rendered as "100" — the same
+#: metric could flip representation between runs at the boundary.
+_INTEGRAL_EPS = 1e-9
+
 
 def format_value(value: Number) -> str:
-    """Format one cell: integers stay integers, floats get a sensible precision."""
+    """Format one cell: integers stay integers, floats get a sensible precision.
+
+    ``None`` and NaN (the empty-aggregate statistics) render as ``-``; a
+    float within :data:`_INTEGRAL_EPS` of an integer renders as that integer
+    whatever its magnitude.
+    """
     if value is None:
         return "-"
     if isinstance(value, str):
         return value
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(value)
     if isinstance(value, int):
         return str(value)
-    if abs(value - round(value)) < 1e-9 and abs(value) >= 100:
+    if math.isnan(value):
+        return "-"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if abs(value - round(value)) < _INTEGRAL_EPS:
         return str(int(round(value)))
     if abs(value) >= 100:
         return f"{value:.0f}"
     if abs(value) >= 10:
         return f"{value:.1f}"
     return f"{value:.2f}"
+
+
+def format_mean_ci(mean: Number, half_width: Optional[float]) -> str:
+    """Format ``mean ± half-width`` for a table cell.
+
+    Falls back to the bare mean when no interval applies: ``half_width`` of
+    ``None`` or NaN (unknowable — a single repetition or an empty
+    aggregate), or exactly 0.0 (no spread, the ± would be noise).
+    """
+    mean_text = format_value(mean)
+    if half_width is None or (isinstance(half_width, float) and math.isnan(half_width)):
+        return mean_text
+    if half_width == 0.0:
+        return mean_text
+    return f"{mean_text} ± {format_value(half_width)}"
 
 
 def _column_order(columns: Mapping[str, Mapping[str, Number]], order: Optional[Sequence[str]]) -> List[str]:

@@ -169,5 +169,16 @@ def config_fingerprint(config: Any) -> str:
         "reference": config.reference,
         "middleware": asdict(config.middleware),
     }
+    # The sequential stopping rule decides *how many* repetitions run, so its
+    # knobs are number-determining.  Added only when active (``ci_target``
+    # set) so every pre-existing fixed-repetition fingerprint is unchanged.
+    if getattr(config, "ci_target", None) is not None:
+        payload["sequential"] = {
+            "ci_target": config.ci_target,
+            "ci_metric": config.ci_metric,
+            "ci_confidence": config.ci_confidence,
+            "ci_min_reps": config.ci_min_reps,
+            "ci_max_reps": config.ci_max_reps,
+        }
     canonical = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

@@ -264,6 +264,35 @@ class ResultSet:
         """Shorthand: mean of one metric over the whole set."""
         return self.aggregate(metric).mean
 
+    def interval(
+        self,
+        metric: str,
+        by: Optional[Union[str, Sequence[str]]] = None,
+        confidence: float = 0.95,
+    ):
+        """Student-t confidence interval of one metric (``None`` skipped).
+
+        Same shape contract as :meth:`aggregate`: one
+        :class:`~repro.stats.ConfidenceInterval` without ``by``, a mapping
+        group key → interval with it.  Raises
+        :class:`~repro.errors.StatsError` for groups with fewer than two
+        values — an interval over one run is not an honest statement.
+        """
+        from ..stats.intervals import t_interval  # deferred: keeps import DAG flat
+
+        if by is None:
+            if metric not in self._metrics:
+                raise ResultsError(
+                    f"unknown metric {metric!r}; metrics: {self.metric_names()}"
+                )
+            values = [v for v in self._metrics[metric] if v is not None]
+            return t_interval(values, confidence=confidence)
+        fields = (by,) if isinstance(by, str) else tuple(by)
+        return {
+            key: group.interval(metric, confidence=confidence)
+            for key, group in self.group_by(*fields).items()
+        }
+
     # ------------------------------------------------------------------ #
     # pivot — the paper tables as a pure view over records
     # ------------------------------------------------------------------ #
@@ -294,26 +323,34 @@ class ResultSet:
         if cols not in self._fields:
             raise ResultsError(f"unknown pivot column field {cols!r}")
         columns: Dict[str, Dict[str, float]] = {}
+        aggregates: Dict[str, Dict[str, Aggregate]] = {}
         if rows == "metric":
             for col_value, group in self.group_by(cols).items():
-                column: Dict[str, float] = {
-                    row: group.aggregate(summary_field).mean
+                column_aggregates: Dict[str, Aggregate] = {
+                    row: group.aggregate(summary_field)
                     for row, summary_field in METRIC_ROW_TO_SUMMARY_FIELD.items()
                 }
                 sooner = [v for v in group._metrics.get(SOONER_METRIC, ()) if v is not None]
                 if sooner:
-                    column[SOONER_ROW] = aggregate_values(sooner).mean
-                columns[str(col_value)] = column
+                    column_aggregates[SOONER_ROW] = aggregate_values(sooner)
+                columns[str(col_value)] = {
+                    row: aggregate.mean for row, aggregate in column_aggregates.items()
+                }
+                aggregates[str(col_value)] = column_aggregates
         else:
             if rows not in self._fields:
                 raise ResultsError(f"unknown pivot row field {rows!r}")
             if metric is None:
                 raise ResultsError("a field-by-field pivot needs metric=<name>")
             for col_value, col_group in self.group_by(cols).items():
-                columns[str(col_value)] = {
-                    str(row_value): row_group.aggregate(metric).mean
+                column_aggregates = {
+                    str(row_value): row_group.aggregate(metric)
                     for row_value, row_group in col_group.group_by(rows).items()
                 }
+                columns[str(col_value)] = {
+                    row: aggregate.mean for row, aggregate in column_aggregates.items()
+                }
+                aggregates[str(col_value)] = column_aggregates
         experiment_ids = sorted(set(self._fields["experiment_id"]))
         return TableResult(
             experiment_id=self.meta.get(
@@ -323,6 +360,7 @@ class ResultSet:
             columns=columns,
             notes=list(self.meta.get("notes", ()) if notes is None else notes),
             result_set=self,
+            aggregates=aggregates,
         )
 
     # ------------------------------------------------------------------ #

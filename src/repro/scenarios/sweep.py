@@ -156,6 +156,13 @@ def run_sweep(
     result.ranking = cross_scenario_ranking(
         {name: table.columns for name, table in result.tables.items()},
         metric=metric,
+        # Per-cell aggregates switch on significance-aware ties (``#r=``):
+        # heuristics whose CIs overlap share a rank instead of overclaiming
+        # "A beats B".  Single-repetition sweeps carry zero-width intervals,
+        # so their rankings only mark *exact* metric ties.
+        scenario_aggregates={
+            name: table.aggregates for name, table in result.tables.items()
+        },
     )
     return result
 

@@ -1,0 +1,58 @@
+"""Statistics subsystem: honest intervals, warm-up, stopping, validation.
+
+The reproduction's tables are means over repeated stochastic runs, so every
+claim they support is a statistical one.  This package holds the machinery
+that keeps those claims honest:
+
+* :mod:`repro.stats.student` — dependency-free Student-t CDF/quantile (the
+  correct small-sample multiplier where a normal z would understate interval
+  widths by ~40% at n=5);
+* :mod:`repro.stats.intervals` — Student-t intervals over replications and
+  batch-means intervals over autocorrelated series;
+* :mod:`repro.stats.warmup` — MSER-5 initial-transient truncation;
+* :mod:`repro.stats.sequential` — the stopping rule behind
+  ``run_campaign(reps="auto", ci_target=...)``;
+* :mod:`repro.stats.analytical` — closed-form M/M/1 / M/M/c baselines and
+  the ``repro validate`` suite that pins the fluid simulator to them.
+"""
+
+from .intervals import ConfidenceInterval, batch_means_interval, t_interval
+from .sequential import GroupStatus, StoppingDecision, StoppingRule
+from .student import regularized_incomplete_beta, t_cdf, t_quantile, two_sided_t
+from .warmup import mser5_truncation, truncate_warmup
+from .analytical import (
+    ValidationCheck,
+    ValidationReport,
+    erlang_c,
+    mm1_mean_response,
+    mmc_mean_response,
+    run_validation,
+    simulate_mmc_mean_response,
+)
+
+__all__ = [
+    # student
+    "regularized_incomplete_beta",
+    "t_cdf",
+    "t_quantile",
+    "two_sided_t",
+    # intervals
+    "ConfidenceInterval",
+    "t_interval",
+    "batch_means_interval",
+    # warmup
+    "mser5_truncation",
+    "truncate_warmup",
+    # sequential
+    "StoppingRule",
+    "StoppingDecision",
+    "GroupStatus",
+    # analytical
+    "mm1_mean_response",
+    "erlang_c",
+    "mmc_mean_response",
+    "simulate_mmc_mean_response",
+    "ValidationCheck",
+    "ValidationReport",
+    "run_validation",
+]

@@ -1,0 +1,368 @@
+"""Analytical queueing baselines and the ``repro validate`` suite.
+
+The fluid processor-sharing core (:mod:`repro.simulation.fluid`) is the
+ground truth every simulated number rests on, so it must be checked against
+something *it cannot influence*: closed-form queueing theory.
+
+A :class:`~repro.simulation.fluid.ProcessorSharingQueue` with ``capacity=c``
+and ``per_job_cap=1`` serving exponential job sizes under Poisson arrivals
+is *exactly* an M/M/c system — every active job progresses at rate
+``min(1, c/n)``, so the total departure rate with ``n`` jobs in system is
+``min(n, c)·μ``, the M/M/c birth–death chain.  The egalitarian discipline
+does not change the distribution of the number in system, hence (Little's
+law) not the mean response time either.  The closed forms implemented here —
+``1/(μ−λ)`` for M/M/1 and the Erlang-C formula for M/M/c — are therefore
+exact targets, not approximations: the simulated mean must fall within its
+own confidence interval of them, or the fluid core is wrong.
+
+:func:`run_validation` bundles those checks (plus the sequential-stopping
+byte-identity contract of the campaign layer) into the report behind the
+``repro validate`` CLI command; determinism of the simulator makes the suite
+reproducible — a seed that passes today passes forever.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import StatsError
+from ..simulation.fluid import ProcessorSharingQueue
+from .intervals import ConfidenceInterval, t_interval
+from .warmup import mser5_truncation
+
+__all__ = [
+    "mm1_mean_response",
+    "erlang_c",
+    "mmc_mean_response",
+    "simulate_mmc_mean_response",
+    "ValidationCheck",
+    "ValidationReport",
+    "run_validation",
+]
+
+
+# --------------------------------------------------------------------------- #
+# closed forms
+# --------------------------------------------------------------------------- #
+def mm1_mean_response(arrival_rate: float, service_rate: float) -> float:
+    """Mean response (sojourn) time of a stable M/M/1 queue: ``1/(μ−λ)``.
+
+    Valid for FCFS and for egalitarian processor sharing alike — M/M/1-PS
+    has the same mean response time as M/M/1-FCFS.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise StatsError("arrival and service rates must be positive")
+    if arrival_rate >= service_rate:
+        raise StatsError(
+            f"unstable queue: arrival rate {arrival_rate} >= service rate {service_rate}"
+        )
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C: probability an arriving job must queue in M/M/c.
+
+    ``offered_load`` is ``a = λ/μ`` (in Erlangs); stability requires
+    ``a < servers``.  Computed with the usual recurrence on the Erlang-B
+    blocking probability, which is numerically stable for any load.
+    """
+    if servers < 1:
+        raise StatsError(f"servers must be >= 1, got {servers}")
+    if offered_load <= 0:
+        raise StatsError(f"offered load must be positive, got {offered_load}")
+    if offered_load >= servers:
+        raise StatsError(
+            f"unstable system: offered load {offered_load} >= servers {servers}"
+        )
+    # Erlang-B via the recurrence B(0) = 1, B(k) = aB/(k + aB).
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mmc_mean_response(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Mean response time of a stable M/M/c queue.
+
+    ``E[T] = 1/μ + C(c, λ/μ) / (cμ − λ)`` where ``C`` is Erlang-C.  For
+    ``servers=1`` this reduces to :func:`mm1_mean_response` exactly.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise StatsError("arrival and service rates must be positive")
+    offered = arrival_rate / service_rate
+    waiting_probability = erlang_c(servers, offered)
+    return 1.0 / service_rate + waiting_probability / (
+        servers * service_rate - arrival_rate
+    )
+
+
+# --------------------------------------------------------------------------- #
+# simulation of the same system on the fluid core
+# --------------------------------------------------------------------------- #
+def _one_replication(
+    arrival_rate: float,
+    service_rate: float,
+    servers: int,
+    job_count: int,
+    rng: random.Random,
+) -> List[float]:
+    """Response times of one M/M/c replication on a ProcessorSharingQueue.
+
+    ``capacity=servers`` with ``per_job_cap=1`` is the c-CPU model of the
+    fluid module's docstring; the queue starts empty (the warm-up the MSER
+    rule later truncates).  Response times are returned in *arrival order* —
+    the order the warm-up transient lives in.
+    """
+    queue = ProcessorSharingQueue(capacity=float(servers), per_job_cap=1.0)
+    arrivals: List[float] = []
+    completions: Dict[int, float] = {}
+    now = 0.0
+    for index in range(job_count):
+        now += rng.expovariate(arrival_rate)
+        # ``add`` would advance the queue itself but swallow the completion
+        # events; advance explicitly first so every completion is captured.
+        for done_at, key in queue.advance_to(now):
+            completions[key] = done_at
+        arrivals.append(now)
+        queue.add(index, rng.expovariate(service_rate), now)
+    while len(queue):
+        for done_at, key in queue.advance_to(queue.next_completion_time()):
+            completions[key] = done_at
+    return [completions[i] - arrivals[i] for i in range(job_count)]
+
+
+def simulate_mmc_mean_response(
+    arrival_rate: float,
+    service_rate: float,
+    servers: int,
+    job_count: int = 4000,
+    replications: int = 5,
+    seed: int = 2003,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Simulated M/M/c mean response time with a replication t interval.
+
+    Each replication seeds its own generator from ``(seed, replication)``,
+    simulates ``job_count`` jobs on the fluid core, truncates its MSER-5
+    warm-up prefix, and contributes the mean of the surviving response
+    times; the interval is the Student-t CI over the replication means.
+    Fully deterministic in ``seed``.
+    """
+    if replications < 2:
+        raise StatsError(f"need at least 2 replications, got {replications}")
+    rep_means: List[float] = []
+    for replication in range(replications):
+        # Integer-only seed derivation: seeding Random with a tuple would go
+        # through hash(), which PYTHONHASHSEED randomises across processes.
+        rng = random.Random(seed * 1_000_003 + replication)
+        responses = _one_replication(
+            arrival_rate, service_rate, servers, job_count, rng
+        )
+        cut = mser5_truncation(responses)
+        kept = responses[cut:]
+        rep_means.append(sum(kept) / len(kept))
+    return t_interval(rep_means, confidence=confidence)
+
+
+# --------------------------------------------------------------------------- #
+# the validation suite
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ValidationCheck:
+    """Outcome of one validation check."""
+
+    name: str
+    description: str
+    passed: bool
+    expected: Optional[float] = None
+    observed: Optional[float] = None
+    half_width: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One aligned report line."""
+        status = "PASS" if self.passed else "FAIL"
+        if self.expected is None:
+            return f"  [{status}] {self.name:<28} {self.description}"
+        return (
+            f"  [{status}] {self.name:<28} expected {self.expected:.4f}, "
+            f"observed {self.observed:.4f} ± {self.half_width:.4f}"
+        )
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (for ``validation-report.json``)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "passed": self.passed,
+            "expected": self.expected,
+            "observed": self.observed,
+            "half_width": self.half_width,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The full ``repro validate`` outcome."""
+
+    checks: tuple
+    seed: int
+    quick: bool
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def render(self) -> str:
+        """The report as printed by ``repro validate``."""
+        mode = "quick" if self.quick else "full"
+        lines = [f"Analytical validation ({mode}, seed {self.seed})"]
+        lines.extend(check.render() for check in self.checks)
+        failed = sum(not check.passed for check in self.checks)
+        verdict = "OK" if failed == 0 else f"FAILED ({failed} check(s))"
+        lines.append(f"validation: {verdict} — {len(self.checks)} check(s)")
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (for ``validation-report.json``)."""
+        return {
+            "passed": self.passed,
+            "seed": self.seed,
+            "quick": self.quick,
+            "checks": [check.to_json_dict() for check in self.checks],
+        }
+
+    def save_json(self, path: str) -> str:
+        """Write the report as pretty-printed JSON; returns the path."""
+        from ..store.journal import atomic_write_text  # deferred: import cycle
+
+        return atomic_write_text(
+            path, json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def _queueing_check(
+    name: str,
+    arrival_rate: float,
+    service_rate: float,
+    servers: int,
+    seed: int,
+    quick: bool,
+) -> ValidationCheck:
+    """Simulate one M/M/c regime and compare to its closed form within CI."""
+    expected = mmc_mean_response(arrival_rate, service_rate, servers)
+    # Mean response is heavily autocorrelated, so replication means converge
+    # slowly: these sizes keep the CI honest (and the suite passing) at
+    # ~1 s quick / ~7 s full on the canonical seed.
+    job_count = 4000 if quick else 20000
+    replications = 5 if quick else 10
+    interval = simulate_mmc_mean_response(
+        arrival_rate,
+        service_rate,
+        servers,
+        job_count=job_count,
+        replications=replications,
+        seed=seed,
+    )
+    return ValidationCheck(
+        name=name,
+        description=(
+            f"fluid M/M/{servers} (λ={arrival_rate:g}, μ={service_rate:g}) vs "
+            f"Erlang-C closed form"
+        ),
+        passed=interval.contains(expected),
+        expected=expected,
+        observed=interval.mean,
+        half_width=interval.half_width,
+        detail={
+            "arrival_rate": arrival_rate,
+            "service_rate": service_rate,
+            "servers": servers,
+            "job_count": job_count,
+            "replications": replications,
+            "confidence": interval.confidence,
+        },
+    )
+
+
+def _sequential_identity_check(seed: int, quick: bool) -> ValidationCheck:
+    """Byte-identity of a sequential-stopping campaign at jobs=1 vs jobs=2."""
+    # Deferred imports: this module is part of repro.stats, which the
+    # experiment layer itself imports — a top-level import would be a cycle.
+    import numpy as np
+
+    from ..experiments.campaign import run_campaign
+    from ..experiments.config import ExperimentConfig, ExperimentScale
+    from ..workload.testbed import first_set_platform, matmul_metatask
+
+    task_count = 12 if quick else 20
+    scale = ExperimentScale(
+        name="validate", task_count=task_count, metatask_count=1, repetitions=1
+    )
+    config = ExperimentConfig(
+        scale=scale,
+        seed=seed,
+        heuristics=("mct", "msf"),
+        ci_target=0.5,
+        ci_min_reps=3,
+        ci_max_reps=4,
+    )
+    metatask = matmul_metatask(
+        task_count, 20.0, rng=np.random.default_rng(seed), name="validate-seq"
+    )
+    platform = first_set_platform()
+    serial = run_campaign(
+        "validate-seq", "sequential identity", platform, [metatask],
+        config, reps="auto", jobs=1,
+    )
+    parallel = run_campaign(
+        "validate-seq", "sequential identity", platform, [metatask],
+        config, reps="auto", jobs=2,
+    )
+    serial_bytes = serial.result_set.to_jsonl()
+    parallel_bytes = parallel.result_set.to_jsonl()
+    return ValidationCheck(
+        name="sequential-byte-identity",
+        description=(
+            "run_campaign(reps='auto', ci_target=0.5) produces byte-identical "
+            "records at jobs=1 and jobs=2"
+        ),
+        passed=serial_bytes == parallel_bytes,
+        detail={
+            "records": len(serial.result_set),
+            "records_parallel": len(parallel.result_set),
+            "task_count": task_count,
+        },
+    )
+
+
+def run_validation(
+    seed: int = 2003,
+    quick: bool = False,
+    include_sequential: bool = True,
+) -> ValidationReport:
+    """Run the analytical validation suite and return its report.
+
+    Checks, in order: M/M/1 at moderate load, M/M/1 at high load, M/M/2 and
+    M/M/4 homogeneous farms — each comparing the fluid simulator's mean
+    response time against the exact closed form within the simulation's own
+    95% CI — plus the sequential-stopping byte-identity contract (skippable
+    with ``include_sequential=False`` for pure-queueing uses).  ``quick``
+    shrinks job counts and replications for CI smoke runs.
+    """
+    checks: List[ValidationCheck] = [
+        _queueing_check("mm1-moderate-load", 0.6, 1.0, 1, seed, quick),
+        _queueing_check("mm1-high-load", 0.85, 1.0, 1, seed, quick),
+        _queueing_check("mm2-farm", 1.4, 1.0, 2, seed, quick),
+        _queueing_check("mm4-farm", 3.0, 1.0, 4, seed, quick),
+    ]
+    if include_sequential:
+        checks.append(_sequential_identity_check(seed, quick))
+    return ValidationReport(checks=tuple(checks), seed=seed, quick=quick)

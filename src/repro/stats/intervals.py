@@ -1,0 +1,133 @@
+"""Confidence intervals on scalar metrics.
+
+Two constructions are provided:
+
+* :func:`t_interval` — the classical Student-t interval over independent
+  replications (the right tool for Tables 7-8 style "mean over N runs"
+  aggregates, where each run is an independent sample);
+* :func:`batch_means_interval` — the method of non-overlapping batch means
+  for a single *autocorrelated* series (e.g. per-task flow times inside one
+  long-horizon run), which restores approximate independence by averaging
+  consecutive observations into batches before applying the t interval.
+
+Both return a :class:`ConfidenceInterval`, the value object the ranking and
+sequential-stopping layers consume: it knows its bounds, its relative
+half-width, and whether it overlaps another interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import StatsError
+from .student import two_sided_t
+
+__all__ = ["ConfidenceInterval", "t_interval", "batch_means_interval"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval ``mean ± half_width``."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+    method: str = "t"
+
+    @property
+    def lower(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width relative to ``|mean|`` (``inf`` when the mean is 0)."""
+        if self.half_width == 0.0:
+            return 0.0
+        if self.mean == 0.0:
+            return math.inf
+        return self.half_width / abs(self.mean)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the interval (bounds included)."""
+        return self.lower - 1e-12 <= value <= self.upper + 1e-12
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """Whether this interval and ``other`` share at least one point."""
+        return self.lower <= other.upper + 1e-12 and other.lower <= self.upper + 1e-12
+
+    def as_dict(self) -> dict:
+        """Plain dictionary view (JSON-friendly)."""
+        return {
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+            "n": self.n,
+            "method": self.method,
+        }
+
+
+def t_interval(values: Iterable[float], confidence: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval over independent replications.
+
+    Requires at least two values; with one value the spread is unknowable and
+    this raises :class:`StatsError` rather than pretending a zero-width
+    interval is an honest statement.
+    """
+    data = [float(v) for v in values]
+    n = len(data)
+    if n < 2:
+        raise StatsError(f"a t interval needs at least 2 values, got {n}")
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / (n - 1)
+    half = two_sided_t(confidence, n - 1) * math.sqrt(variance / n)
+    return ConfidenceInterval(mean=mean, half_width=half, confidence=confidence, n=n)
+
+
+def batch_means_interval(
+    series: Sequence[float],
+    batch_count: Optional[int] = None,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Batch-means confidence interval for one autocorrelated series.
+
+    The series is split into ``batch_count`` non-overlapping, equal-size
+    batches (a trailing remainder shorter than a batch is dropped); the t
+    interval is computed over the batch means.  The default batch count is
+    ``min(30, floor(sqrt(len(series))))`` — the classical compromise between
+    enough batches for a stable variance estimate and batches long enough to
+    wash out autocorrelation.
+    """
+    data = [float(v) for v in series]
+    if batch_count is None:
+        batch_count = min(30, int(math.isqrt(len(data)))) if data else 0
+    if batch_count < 2:
+        raise StatsError(
+            f"batch means needs at least 2 batches, got batch_count={batch_count} "
+            f"for a series of {len(data)} observations"
+        )
+    batch_size = len(data) // batch_count
+    if batch_size < 1:
+        raise StatsError(
+            f"series of {len(data)} observations cannot fill {batch_count} batches"
+        )
+    means: List[float] = []
+    for b in range(batch_count):
+        chunk = data[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(chunk) / batch_size)
+    interval = t_interval(means, confidence=confidence)
+    return ConfidenceInterval(
+        mean=interval.mean,
+        half_width=interval.half_width,
+        confidence=confidence,
+        n=len(data),
+        method=f"batch-means({batch_count})",
+    )

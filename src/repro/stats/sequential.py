@@ -1,0 +1,151 @@
+"""Sequential stopping rule for campaign repetitions.
+
+``run_campaign(reps="auto", ci_target=...)`` keeps adding repetition rounds
+until the relative half-width of the confidence interval of every
+``(heuristic, metatask)`` group's chosen metric drops below the target (or
+the repetition budget runs out).  The rule itself lives here, decoupled from
+the engine, and is deliberately a *pure function of the record data*:
+
+* the round schedule (:meth:`StoppingRule.initial_reps` /
+  :meth:`StoppingRule.next_reps`) depends only on the rule's own parameters;
+* the stop decision (:meth:`StoppingRule.assess`) depends only on the metric
+  values grouped per cell coordinate.
+
+Cell seeds already derive from coordinates, so the records of repetition
+``r`` are identical however the campaign was parallelised — which makes the
+decision, hence the number of repetitions run, hence the full record stream,
+byte-identical at ``jobs=1`` and ``jobs=N``.  ``ci_target`` is therefore a
+*number-determining* knob and participates in the configuration fingerprint
+(see :func:`repro.results.records.config_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import StatsError
+from .intervals import ConfidenceInterval, t_interval
+
+__all__ = ["StoppingRule", "GroupStatus", "StoppingDecision"]
+
+#: A sequential group is one (heuristic, metatask_index) coordinate.
+GroupKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class GroupStatus:
+    """Convergence state of one (heuristic, metatask) group."""
+
+    key: GroupKey
+    n: int
+    interval: Optional[ConfidenceInterval]
+    relative_half_width: float
+    satisfied: bool
+
+
+@dataclass(frozen=True)
+class StoppingDecision:
+    """Outcome of one :meth:`StoppingRule.assess` call."""
+
+    satisfied: bool
+    groups: Tuple[GroupStatus, ...]
+
+    @property
+    def worst(self) -> Optional[GroupStatus]:
+        """The group farthest from the target (``None`` with no groups)."""
+        if not self.groups:
+            return None
+        return max(self.groups, key=lambda g: g.relative_half_width)
+
+    def summary(self) -> str:
+        """One human line: how close the campaign is to stopping."""
+        worst = self.worst
+        if worst is None:
+            return "no groups"
+        rel = worst.relative_half_width
+        rel_text = "inf" if math.isinf(rel) else f"{rel:.4f}"
+        return (
+            f"{sum(g.satisfied for g in self.groups)}/{len(self.groups)} group(s) "
+            f"converged; worst {worst.key[0]}/m{worst.key[1]} at relative "
+            f"half-width {rel_text} over n={worst.n}"
+        )
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When to stop adding repetitions to a campaign.
+
+    The campaign stops once *every* ``(heuristic, metatask)`` group has at
+    least ``min_reps`` observations of ``metric`` and a ``confidence``-level
+    Student-t interval whose half-width is at most ``ci_target`` times the
+    absolute group mean.  ``max_reps`` caps the budget: a campaign that
+    cannot converge (e.g. a bimodal metric) stops there and the caller is
+    told via :attr:`StoppingDecision.satisfied`.
+    """
+
+    ci_target: float
+    metric: str = "sum_flow"
+    confidence: float = 0.95
+    min_reps: int = 3
+    max_reps: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ci_target:
+            raise StatsError(f"ci_target must be > 0, got {self.ci_target}")
+        if not 0.0 < self.confidence < 1.0:
+            raise StatsError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.min_reps < 2:
+            raise StatsError(f"min_reps must be >= 2, got {self.min_reps}")
+        if self.max_reps < self.min_reps:
+            raise StatsError(
+                f"max_reps ({self.max_reps}) must be >= min_reps ({self.min_reps})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # round schedule (deterministic, data-independent)
+    # ------------------------------------------------------------------ #
+    def initial_reps(self, configured_reps: int = 1) -> int:
+        """Repetitions of the first round (never below ``min_reps``)."""
+        return min(self.max_reps, max(self.min_reps, configured_reps))
+
+    def next_reps(self, current: int) -> int:
+        """Total repetitions after growing the campaign by one round.
+
+        Doubles (capped at ``max_reps``): half-widths shrink like
+        ``1/sqrt(n)``, so linear growth would converge painfully slowly when
+        the first round is far from the target.
+        """
+        if current >= self.max_reps:
+            return current
+        return min(self.max_reps, max(current + 1, current * 2))
+
+    # ------------------------------------------------------------------ #
+    # stop decision (a pure function of the grouped metric values)
+    # ------------------------------------------------------------------ #
+    def assess(self, groups: Mapping[GroupKey, Sequence[float]]) -> StoppingDecision:
+        """Evaluate the rule over ``{(heuristic, metatask): metric values}``.
+
+        A group satisfies the rule when it has ``min_reps`` values and its
+        relative half-width is at or below ``ci_target``.  Zero-variance
+        groups satisfy it trivially; a group whose mean is 0 with non-zero
+        spread has an infinite relative width and can never satisfy it (the
+        campaign then runs to ``max_reps`` — an honest answer, since a
+        relative target is meaningless around a zero mean).
+        """
+        statuses: List[GroupStatus] = []
+        for key in sorted(groups):
+            values = [float(v) for v in groups[key]]
+            n = len(values)
+            if n < 2:
+                statuses.append(GroupStatus(key, n, None, math.inf, False))
+                continue
+            interval = t_interval(values, confidence=self.confidence)
+            rel = interval.relative_half_width
+            satisfied = n >= self.min_reps and rel <= self.ci_target
+            statuses.append(GroupStatus(key, n, interval, rel, satisfied))
+        return StoppingDecision(
+            satisfied=bool(statuses) and all(s.satisfied for s in statuses),
+            groups=tuple(statuses),
+        )

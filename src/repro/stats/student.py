@@ -1,0 +1,142 @@
+"""Student-t distribution functions, dependency-free.
+
+The reproduction must not depend on scipy (the container only ships numpy),
+yet honest small-sample confidence intervals need the Student-t quantile at
+``n - 1`` degrees of freedom — at ``n = 5`` repetitions the 97.5% quantile is
+2.776, not the normal approximation's 1.96, so a z-based interval understates
+its width by ~40%.
+
+The implementation is the classical route: the t CDF reduces to the
+regularized incomplete beta function ``I_x(a, b)`` (evaluated with the
+Lentz/Thompson-Barnett continued fraction of Numerical Recipes), and the
+quantile inverts the CDF by bisection.  Everything is deterministic pure
+``math``; accuracy is ~1e-10 over the ranges the library uses (dof >= 1,
+confidence levels up to 0.999), verified against published tables in
+``tests/stats/test_student.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import StatsError
+
+__all__ = ["regularized_incomplete_beta", "t_cdf", "t_quantile", "two_sided_t"]
+
+#: Continued-fraction iteration cap (converges in < 100 for all sane inputs).
+_MAX_ITERATIONS = 300
+_TINY = 1e-300
+_EPS = 1e-14
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function (Lentz's method)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _TINY:
+        d = _TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITERATIONS + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _TINY:
+            d = _TINY
+        c = 1.0 + aa / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return h
+    raise StatsError(
+        f"incomplete beta continued fraction did not converge (a={a}, b={b}, x={x})"
+    )
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the regularized incomplete beta function."""
+    if a <= 0 or b <= 0:
+        raise StatsError(f"beta parameters must be positive (a={a}, b={b})")
+    if not 0.0 <= x <= 1.0:
+        raise StatsError(f"incomplete beta argument must be in [0, 1], got {x}")
+    if x == 0.0 or x == 1.0:
+        return x
+    log_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    # Use the continued fraction on the side where it converges fastest.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def t_cdf(x: float, dof: float) -> float:
+    """CDF of the Student-t distribution with ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise StatsError(f"degrees of freedom must be positive, got {dof}")
+    if math.isnan(x):
+        return math.nan
+    if math.isinf(x):
+        return 1.0 if x > 0 else 0.0
+    tail = 0.5 * regularized_incomplete_beta(dof / 2.0, 0.5, dof / (dof + x * x))
+    return 1.0 - tail if x >= 0 else tail
+
+
+def t_quantile(p: float, dof: float) -> float:
+    """Inverse CDF of the Student-t distribution (bisection on :func:`t_cdf`)."""
+    if dof <= 0:
+        raise StatsError(f"degrees of freedom must be positive, got {dof}")
+    if not 0.0 < p < 1.0:
+        raise StatsError(f"quantile probability must be in (0, 1), got {p}")
+    if p == 0.5:
+        return 0.0
+    if p < 0.5:
+        return -t_quantile(1.0 - p, dof)
+    # Bracket the root: grow the upper bound until the CDF passes p.  dof=1
+    # (Cauchy) has very heavy tails, so the bound may need to grow far.
+    lo, hi = 0.0, 2.0
+    while t_cdf(hi, dof) < p:
+        hi *= 2.0
+        if hi > 1e18:  # pragma: no cover - p astronomically close to 1
+            raise StatsError(f"t quantile bracket failed (p={p}, dof={dof})")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if t_cdf(mid, dof) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+def two_sided_t(confidence: float, dof: float) -> float:
+    """The two-sided critical value: ``t`` such that ``P(|T| <= t) = confidence``.
+
+    This is the multiplier of a ``confidence``-level t interval —
+    ``two_sided_t(0.95, 4) = 2.776...`` where the normal approximation would
+    use 1.96 regardless of the sample size.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise StatsError(f"confidence must be in (0, 1), got {confidence}")
+    return t_quantile(0.5 + confidence / 2.0, dof)

@@ -1,0 +1,105 @@
+"""Tests of the analytical (closed-form queueing) validation module."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import (
+    erlang_c,
+    mm1_mean_response,
+    mmc_mean_response,
+    run_validation,
+    simulate_mmc_mean_response,
+)
+
+
+class TestClosedForms:
+    def test_mm1_mean_response(self):
+        # W = 1/(μ − λ).
+        assert mm1_mean_response(0.5, 1.0) == pytest.approx(2.0)
+        assert mm1_mean_response(0.9, 1.0) == pytest.approx(10.0)
+
+    def test_mm1_requires_stability(self):
+        with pytest.raises(StatsError):
+            mm1_mean_response(1.0, 1.0)
+        with pytest.raises(StatsError):
+            mm1_mean_response(2.0, 1.0)
+
+    def test_erlang_c_single_server_equals_utilisation(self):
+        # With c=1 the probability of waiting is exactly ρ.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7, abs=1e-12)
+
+    def test_erlang_c_known_value(self):
+        # Classic teletraffic table entry: c=2, a=1 → C = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0, abs=1e-12)
+
+    def test_mmc_reduces_to_mm1(self):
+        assert mmc_mean_response(0.7, 1.0, 1) == pytest.approx(
+            mm1_mean_response(0.7, 1.0), abs=1e-12
+        )
+
+    def test_mmc_known_value(self):
+        # M/M/2, λ=1, μ=1: W = 1 + C(2,1)/(2−1) = 4/3.
+        assert mmc_mean_response(1.0, 1.0, 2) == pytest.approx(4.0 / 3.0, abs=1e-12)
+
+    def test_more_servers_respond_faster(self):
+        assert mmc_mean_response(1.4, 1.0, 2) > mmc_mean_response(1.4, 1.0, 4)
+
+
+class TestSimulatorAgreement:
+    def test_mm1_simulation_matches_closed_form(self):
+        # The fluid ProcessorSharingQueue with per_job_cap=1 IS an M/M/1
+        # station; the closed form must fall inside the simulation's CI.
+        interval = simulate_mmc_mean_response(
+            arrival_rate=0.6, service_rate=1.0, servers=1,
+            job_count=4000, replications=5, seed=2003,
+        )
+        assert interval.contains(mm1_mean_response(0.6, 1.0))
+
+    def test_mmc_simulation_matches_closed_form(self):
+        interval = simulate_mmc_mean_response(
+            arrival_rate=1.4, service_rate=1.0, servers=2,
+            job_count=4000, replications=5, seed=2003,
+        )
+        assert interval.contains(mmc_mean_response(1.4, 1.0, 2))
+
+    def test_simulation_is_deterministic(self):
+        a = simulate_mmc_mean_response(
+            arrival_rate=0.6, service_rate=1.0, servers=1,
+            job_count=500, replications=3, seed=7,
+        )
+        b = simulate_mmc_mean_response(
+            arrival_rate=0.6, service_rate=1.0, servers=1,
+            job_count=500, replications=3, seed=7,
+        )
+        assert a == b
+
+
+class TestRunValidation:
+    def test_quick_suite_passes(self, tmp_path):
+        report = run_validation(quick=True, include_sequential=False)
+        assert report.passed
+        assert len(report.checks) == 4
+        rendered = report.render()
+        assert "[PASS]" in rendered and "validation: OK" in rendered
+
+        path = tmp_path / "validation-report.json"
+        report.save_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["passed"] is True
+        assert {c["name"] for c in payload["checks"]} == {
+            "mm1-moderate-load", "mm1-high-load", "mm2-farm", "mm4-farm",
+        }
+
+    def test_api_facade(self, tmp_path):
+        from repro import api
+
+        report = api.validate(
+            quick=True, include_sequential=False,
+            json_path=tmp_path / "report.json",
+        )
+        assert report.passed
+        assert (tmp_path / "report.json").exists()

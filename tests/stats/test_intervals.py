@@ -1,0 +1,97 @@
+"""Tests of confidence-interval construction, including a coverage simulation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import ConfidenceInterval, batch_means_interval, t_interval, two_sided_t
+
+
+class TestTInterval:
+    def test_known_small_sample(self):
+        values = [10.0, 12.0, 14.0]
+        interval = t_interval(values)
+        assert interval.mean == pytest.approx(12.0)
+        assert interval.n == 3
+        # half = t(0.95, 2) * s / sqrt(3), s = 2.
+        assert interval.half_width == pytest.approx(
+            two_sided_t(0.95, 2) * 2.0 / math.sqrt(3), rel=1e-12
+        )
+        assert interval.lower == pytest.approx(interval.mean - interval.half_width)
+        assert interval.upper == pytest.approx(interval.mean + interval.half_width)
+
+    def test_zero_variance(self):
+        interval = t_interval([7.0, 7.0, 7.0, 7.0])
+        assert interval.half_width == 0.0
+        assert interval.relative_half_width == 0.0
+        assert interval.contains(7.0)
+        assert not interval.contains(7.1)
+
+    def test_needs_two_values(self):
+        with pytest.raises(StatsError):
+            t_interval([1.0])
+        with pytest.raises(StatsError):
+            t_interval([])
+
+    def test_relative_half_width_zero_mean(self):
+        interval = t_interval([-1.0, 1.0])
+        assert interval.mean == 0.0
+        assert math.isinf(interval.relative_half_width)
+
+    def test_overlap(self):
+        a = ConfidenceInterval(mean=10.0, half_width=1.0, confidence=0.95, n=5)
+        b = ConfidenceInterval(mean=11.5, half_width=1.0, confidence=0.95, n=5)
+        c = ConfidenceInterval(mean=20.0, half_width=1.0, confidence=0.95, n=5)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_coverage_is_about_95_percent(self):
+        # The defining property: over many repeated samples from a known
+        # distribution, ~95% of the intervals must contain the true mean.
+        # 2000 trials of n=10 keep the binomial noise on the coverage rate
+        # near ±1%, so [0.93, 0.97] is a safe deterministic band.
+        rng = random.Random(20030508)
+        true_mean = 5.0
+        trials = 2000
+        covered = 0
+        for _ in range(trials):
+            sample = [rng.gauss(true_mean, 2.0) for _ in range(10)]
+            if t_interval(sample).contains(true_mean):
+                covered += 1
+        assert 0.93 <= covered / trials <= 0.97
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        interval = t_interval([1.0, 2.0, 3.0])
+        payload = json.dumps(interval.as_dict())
+        assert json.loads(payload)["n"] == 3
+
+
+class TestBatchMeansInterval:
+    def test_reduces_autocorrelation_bias(self):
+        # An AR(1)-ish series: naive t over raw points underestimates the
+        # width badly; batch means must produce a *wider* interval.
+        rng = random.Random(7)
+        series = []
+        previous = 0.0
+        for _ in range(3000):
+            previous = 0.9 * previous + rng.gauss(0, 1)
+            series.append(previous)
+        naive = t_interval(series)
+        batched = batch_means_interval(series, batch_count=30)
+        assert batched.half_width > 2 * naive.half_width
+
+    def test_method_label_and_n(self):
+        series = [float(i % 7) for i in range(100)]
+        interval = batch_means_interval(series, batch_count=10)
+        assert interval.method == "batch-means(10)"
+        assert interval.n == 100
+
+    def test_needs_enough_data(self):
+        with pytest.raises(StatsError):
+            batch_means_interval([1.0, 2.0, 3.0], batch_count=4)

@@ -1,0 +1,203 @@
+"""Tests of the sequential stopping rule and its campaign integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError, StatsError
+from repro.experiments import ExperimentConfig, ExperimentScale, plan_cells, run_campaign
+from repro.results import config_fingerprint
+from repro.stats import StoppingRule
+from repro.workload.testbed import first_set_platform, matmul_metatask
+
+
+def tiny_metatask(task_count: int = 12, seed: int = 42):
+    return matmul_metatask(
+        count=task_count,
+        mean_interarrival=20.0,
+        rng=np.random.default_rng(seed),
+        name="tiny-seq",
+    )
+
+
+def sequential_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        scale=ExperimentScale(name="tiny", task_count=12, metatask_count=1, repetitions=1),
+        seed=2003,
+        heuristics=("mct", "msf"),
+        ci_target=0.5,
+        ci_min_reps=3,
+        ci_max_reps=4,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestStoppingRule:
+    def test_schedule_doubles_up_to_the_cap(self):
+        rule = StoppingRule(ci_target=0.05, min_reps=3, max_reps=20)
+        assert rule.initial_reps(1) == 3
+        assert rule.initial_reps(8) == 8
+        assert rule.initial_reps(100) == 20
+        assert rule.next_reps(3) == 6
+        assert rule.next_reps(6) == 12
+        assert rule.next_reps(12) == 20
+        assert rule.next_reps(20) == 20
+
+    def test_assess_converged(self):
+        rule = StoppingRule(ci_target=0.5, min_reps=3)
+        decision = rule.assess({("mct", 0): [100.0, 101.0, 99.0]})
+        assert decision.satisfied
+        assert decision.worst.key == ("mct", 0)
+
+    def test_assess_not_converged(self):
+        rule = StoppingRule(ci_target=0.001, min_reps=3)
+        decision = rule.assess({("mct", 0): [100.0, 140.0, 60.0]})
+        assert not decision.satisfied
+        assert "mct" in decision.summary()
+
+    def test_all_groups_must_converge(self):
+        rule = StoppingRule(ci_target=0.1, min_reps=3)
+        decision = rule.assess(
+            {
+                ("mct", 0): [100.0, 100.5, 99.5],   # tight
+                ("msf", 0): [100.0, 160.0, 40.0],   # wide
+            }
+        )
+        assert not decision.satisfied
+        assert decision.worst.key == ("msf", 0)
+
+    def test_min_reps_gates_even_tight_groups(self):
+        rule = StoppingRule(ci_target=0.5, min_reps=4)
+        decision = rule.assess({("mct", 0): [100.0, 100.0, 100.0]})
+        assert not decision.satisfied
+
+    def test_zero_mean_group_never_satisfies_a_relative_target(self):
+        rule = StoppingRule(ci_target=0.5, min_reps=3)
+        decision = rule.assess({("mct", 0): [-1.0, 0.0, 1.0]})
+        assert not decision.satisfied
+
+    def test_parameter_validation(self):
+        with pytest.raises(StatsError):
+            StoppingRule(ci_target=0.0)
+        with pytest.raises(StatsError):
+            StoppingRule(ci_target=0.1, min_reps=1)
+        with pytest.raises(StatsError):
+            StoppingRule(ci_target=0.1, min_reps=5, max_reps=4)
+        with pytest.raises(StatsError):
+            StoppingRule(ci_target=0.1, confidence=1.0)
+
+
+class TestPlanCellsRepRange:
+    def test_default_covers_all_repetitions(self):
+        config = sequential_config(
+            scale=ExperimentScale(name="t", task_count=5, metatask_count=1, repetitions=3)
+        )
+        assert plan_cells(config, 1) == plan_cells(config, 1, rep_range=range(3))
+
+    def test_rounds_reassemble_the_full_plan_per_heuristic(self):
+        config = sequential_config(
+            scale=ExperimentScale(name="t", task_count=5, metatask_count=2, repetitions=4)
+        )
+        full = plan_cells(config, 2)
+        first = plan_cells(config, 2, rep_range=range(0, 2))
+        second = plan_cells(config, 2, rep_range=range(2, 4))
+        assert sorted(full, key=repr) == sorted(first + second, key=repr)
+
+
+class TestSequentialCampaign:
+    def test_byte_identity_across_jobs(self):
+        platform = first_set_platform()
+        serial = run_campaign(
+            "seq", "sequential", platform, [tiny_metatask()],
+            sequential_config(), reps="auto", jobs=1,
+        )
+        parallel = run_campaign(
+            "seq", "sequential", platform, [tiny_metatask()],
+            sequential_config(), reps="auto", jobs=4,
+        )
+        assert serial.result_set.to_jsonl() == parallel.result_set.to_jsonl()
+        assert serial.render() == parallel.render()
+
+    def test_runs_at_least_min_reps_and_reports_convergence(self):
+        table = run_campaign(
+            "seq", "sequential", first_set_platform(), [tiny_metatask()],
+            sequential_config(), reps="auto",
+        )
+        sequential = table.result_set.meta["sequential"]
+        assert sequential["repetitions"] >= 3
+        assert sequential["ci_target"] == 0.5
+        reps = {r.repetition for r in table.result_set}
+        assert reps == set(range(sequential["repetitions"]))
+        assert any("sequential stopping" in note for note in table.notes)
+
+    def test_cells_render_with_intervals(self):
+        table = run_campaign(
+            "seq", "sequential", first_set_platform(), [tiny_metatask()],
+            sequential_config(), reps="auto",
+        )
+        assert "±" in table.render()
+        aggregate = table.cell_aggregate("mct", "sumflow")
+        assert aggregate is not None and aggregate.n >= 3
+
+    def test_auto_requires_a_target(self):
+        with pytest.raises(ExperimentError):
+            run_campaign(
+                "seq", "sequential", first_set_platform(), [tiny_metatask()],
+                sequential_config(ci_target=None), reps="auto",
+            )
+
+    def test_int_reps_overrides_the_scale(self):
+        table = run_campaign(
+            "fixed", "fixed", first_set_platform(), [tiny_metatask()],
+            sequential_config(ci_target=None), reps=2,
+        )
+        assert {r.repetition for r in table.result_set} == {0, 1}
+        assert "sequential" not in table.result_set.meta
+
+    def test_config_ci_target_alone_triggers_sequential_mode(self):
+        table = run_campaign(
+            "seq", "sequential", first_set_platform(), [tiny_metatask()],
+            sequential_config(),
+        )
+        assert "sequential" in table.result_set.meta
+
+    def test_store_resume_is_byte_identical(self, tmp_path):
+        cold = run_campaign(
+            "seq", "sequential", first_set_platform(), [tiny_metatask()],
+            sequential_config(), reps="auto", store=str(tmp_path / "store"),
+        )
+        warm = run_campaign(
+            "seq", "sequential", first_set_platform(), [tiny_metatask()],
+            sequential_config(), reps="auto", store=str(tmp_path / "store"),
+        )
+        assert warm.cache_info["executed"] == 0
+        assert warm.cache_info["recovered"] == len(cold.result_set)
+        assert cold.result_set.to_jsonl() == warm.result_set.to_jsonl()
+
+
+class TestFingerprintContract:
+    def test_no_target_means_unchanged_payload(self):
+        base = ExperimentConfig()
+        # The stopping knobs are inert while ci_target is None: tuning them
+        # must not fragment existing store namespaces.
+        assert config_fingerprint(base) == config_fingerprint(
+            base.with_ci_target(None, ci_metric="makespan", ci_max_reps=8)
+        )
+
+    def test_ci_target_is_number_determining(self):
+        base = ExperimentConfig()
+        assert config_fingerprint(base) != config_fingerprint(base.with_ci_target(0.05))
+        assert config_fingerprint(base.with_ci_target(0.05)) != config_fingerprint(
+            base.with_ci_target(0.10)
+        )
+
+    def test_stopping_knobs_count_once_active(self):
+        active = ExperimentConfig().with_ci_target(0.05)
+        assert config_fingerprint(active) != config_fingerprint(
+            active.with_ci_target(0.05, ci_metric="makespan")
+        )
+        assert config_fingerprint(active) != config_fingerprint(
+            active.with_ci_target(0.05, ci_max_reps=8)
+        )

@@ -1,0 +1,95 @@
+"""Tests of the dependency-free Student-t distribution functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats import regularized_incomplete_beta, t_cdf, t_quantile, two_sided_t
+
+
+class TestRegularizedIncompleteBeta:
+    def test_bounds(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_uniform_case_is_identity(self):
+        # I_x(1, 1) = x exactly.
+        for x in (0.1, 0.25, 0.5, 0.9):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(x, abs=1e-12)
+
+    def test_symmetry(self):
+        # I_x(a, b) = 1 - I_{1-x}(b, a).
+        value = regularized_incomplete_beta(2.5, 4.0, 0.3)
+        mirror = 1.0 - regularized_incomplete_beta(4.0, 2.5, 0.7)
+        assert value == pytest.approx(mirror, abs=1e-12)
+
+
+class TestTCdf:
+    def test_symmetry_at_zero(self):
+        for dof in (1, 2, 5, 30):
+            assert t_cdf(0.0, dof) == pytest.approx(0.5, abs=1e-12)
+
+    def test_cauchy_special_case(self):
+        # dof=1 is the Cauchy distribution: F(1) = 3/4.
+        assert t_cdf(1.0, 1) == pytest.approx(0.75, abs=1e-10)
+
+    def test_antisymmetry(self):
+        assert t_cdf(-1.8, 7) == pytest.approx(1.0 - t_cdf(1.8, 7), abs=1e-12)
+
+    def test_approaches_normal_for_large_dof(self):
+        # Φ(1.96) ≈ 0.975.
+        assert t_cdf(1.96, 100000) == pytest.approx(0.975, abs=1e-4)
+
+
+class TestTQuantile:
+    def test_round_trip(self):
+        for dof in (1, 3, 10, 50):
+            for p in (0.6, 0.9, 0.975, 0.995):
+                x = t_quantile(p, dof)
+                assert t_cdf(x, dof) == pytest.approx(p, abs=1e-9)
+
+    def test_median_is_zero(self):
+        assert t_quantile(0.5, 7) == 0.0
+
+    def test_rejects_degenerate_probabilities(self):
+        with pytest.raises(StatsError):
+            t_quantile(0.0, 5)
+        with pytest.raises(StatsError):
+            t_quantile(1.0, 5)
+        with pytest.raises(StatsError):
+            t_quantile(0.975, 0)
+
+
+class TestTwoSidedT:
+    # Published 95% two-sided critical values (Student-t tables).
+    @pytest.mark.parametrize(
+        "dof,expected",
+        [
+            (1, 12.706),
+            (2, 4.303),
+            (4, 2.776),
+            (9, 2.262),
+            (29, 2.045),
+        ],
+    )
+    def test_published_table_values(self, dof, expected):
+        assert two_sided_t(0.95, dof) == pytest.approx(expected, abs=2e-3)
+
+    def test_converges_to_z_for_large_dof(self):
+        assert two_sided_t(0.95, 100000) == pytest.approx(1.95996, abs=1e-3)
+
+    def test_monotone_in_confidence(self):
+        assert two_sided_t(0.99, 10) > two_sided_t(0.95, 10) > two_sided_t(0.90, 10)
+
+    def test_replaces_the_z_constant_in_half_ci95(self):
+        # The satellite fix: Aggregate.half_ci95 must use the t quantile at
+        # n-1 dof, not z=1.96.  For n=3 the factor is 4.303, 2.2x wider.
+        from repro.metrics import aggregate_values
+
+        aggregate = aggregate_values([10.0, 12.0, 14.0])
+        expected = two_sided_t(0.95, 2) * aggregate.std / math.sqrt(3)
+        assert aggregate.half_ci95 == pytest.approx(expected, rel=1e-12)
+        assert aggregate.half_ci95 > 1.96 * aggregate.std / math.sqrt(3) * 2

@@ -1,0 +1,47 @@
+"""Tests of MSER-5 warm-up (initial-transient) detection."""
+
+from __future__ import annotations
+
+import random
+
+from repro.stats import mser5_truncation, truncate_warmup
+
+
+class TestMser5Truncation:
+    def test_detects_an_obvious_transient(self):
+        # 30 observations of a high start-up level, then 300 at steady state:
+        # the cut must remove the transient (and land on a batch boundary).
+        rng = random.Random(11)
+        series = [100.0 + rng.gauss(0, 1) for _ in range(30)]
+        series += [5.0 + rng.gauss(0, 1) for _ in range(300)]
+        cut = mser5_truncation(series)
+        assert cut % 5 == 0
+        assert 25 <= cut <= 60
+
+    def test_stationary_series_keeps_everything(self):
+        rng = random.Random(12)
+        series = [rng.gauss(50, 3) for _ in range(200)]
+        # No transient: the optimal truncation stays near the start.
+        assert mser5_truncation(series) <= 20
+
+    def test_deterministic(self):
+        rng = random.Random(13)
+        series = [rng.gauss(0, 1) for _ in range(500)]
+        assert mser5_truncation(series) == mser5_truncation(list(series))
+
+    def test_never_truncates_more_than_half(self):
+        # MSER's guard: a "best" cut beyond half the series means the series
+        # never settled — keep everything rather than extrapolate from a tail.
+        series = list(range(100))  # a pure trend, no steady state
+        assert mser5_truncation(series) <= 50
+
+    def test_short_series(self):
+        assert mser5_truncation([]) == 0
+        assert mser5_truncation([1.0, 2.0, 3.0]) == 0
+
+    def test_truncate_warmup_applies_the_cut(self):
+        rng = random.Random(14)
+        series = [100.0] * 20 + [rng.gauss(5, 1) for _ in range(200)]
+        kept = truncate_warmup(series)
+        assert len(kept) == len(series) - mser5_truncation(series)
+        assert kept == series[len(series) - len(kept):]
