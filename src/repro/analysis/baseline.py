@@ -1,0 +1,112 @@
+"""Grandfathered-finding baseline: load, match and rewrite.
+
+The baseline is a committed JSON file listing findings the team has accepted
+*for now*.  ``repro check`` subtracts them from its report, so CI gates on
+new findings only; ``--update-baseline`` rewrites the file to the current
+finding set (the deliberate way to accept or retire debt — the diff of the
+committed file is the review artefact).
+
+Matching is by finding *identity* — ``(path, rule, snippet)``, a multiset:
+two identical violations on one line of one file need two baseline entries,
+and an entry stops matching the moment the offending line's text changes.
+Line numbers are deliberately not part of the identity, so unrelated edits
+above a grandfathered finding do not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "BASELINE_VERSION",
+    "load_baseline",
+    "save_baseline",
+    "partition_findings",
+]
+
+#: Magic ``format`` value of the baseline file.
+BASELINE_FORMAT = "repro-lint-baseline"
+
+#: Version of the baseline layout; future versions are rejected.
+BASELINE_VERSION = 1
+
+
+def load_baseline(
+    path: Union[str, "os.PathLike[str]"],
+) -> Counter:
+    """Load a baseline into an identity multiset (missing file = empty)."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return Counter()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"corrupt lint baseline {path!r}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise AnalysisError(
+            f"{path!r} is not a lint baseline (format "
+            f"{data.get('format') if isinstance(data, dict) else None!r})"
+        )
+    version = data.get("version")
+    if not isinstance(version, int) or version > BASELINE_VERSION:
+        raise AnalysisError(
+            f"lint baseline {path!r} written by version {version!r}; this "
+            f"library reads up to {BASELINE_VERSION} — upgrade repro"
+        )
+    identities: Counter = Counter()
+    for entry in data.get("findings", ()):
+        try:
+            identities[(str(entry["path"]), str(entry["rule"]), str(entry["snippet"]))] += 1
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(f"malformed baseline entry in {path!r}: {exc}") from exc
+    return identities
+
+
+def save_baseline(
+    path: Union[str, "os.PathLike[str]"], findings: Sequence[Finding]
+) -> str:
+    """Write ``findings`` as the new baseline (atomic, canonically sorted)."""
+    from ..store.journal import atomic_write_text  # deferred: import cycle
+
+    entries = [
+        {"path": path_, "rule": rule, "snippet": snippet}
+        for path_, rule, snippet in sorted(
+            finding.identity for finding in findings
+        )
+    ]
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "findings": entries,
+    }
+    return atomic_write_text(
+        os.fspath(path), json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(active, baselined)`` against the multiset.
+
+    Deterministic: findings are consumed in canonical (path, line) order, so
+    with N baseline entries for one identity, the first N occurrences match.
+    """
+    remaining = Counter(baseline)
+    active: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        if remaining[finding.identity] > 0:
+            remaining[finding.identity] -= 1
+            grandfathered.append(finding)
+        else:
+            active.append(finding)
+    return active, grandfathered

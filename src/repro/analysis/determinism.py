@@ -1,0 +1,307 @@
+"""Determinism rules: RNG discipline, wall clocks and iteration order.
+
+These rules encode the invariants behind the repo's headline guarantee —
+byte-identical results at any ``--jobs`` level, across store temperatures and
+after kill-and-resume.  They are the parse-time counterpart of CI's runtime
+byte-diff smokes: one unseeded draw or one set-order iteration in a
+number-determining path passes every tier-1 test on a given machine and still
+corrupts every fingerprinted cache cell across machines or hash seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from .findings import Finding
+from .rules import ModuleSource, Rule, dotted_name, register
+
+__all__ = ["DetRngRule", "DetClockRule", "DetOrderRule"]
+
+
+#: ``numpy.random`` attributes that are *constructors/seeding machinery*, not
+#: global-state draws; everything else on ``numpy.random`` is legacy
+#: global-state API and always flagged.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "RandomState",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Constructors that are unseeded when called without arguments.
+_SEED_REQUIRED = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+
+@register
+class DetRngRule(Rule):
+    """DET-RNG — every random draw must trace back to an explicit seed.
+
+    Flags (outside ``repro/simulation/rng.py``, the one sanctioned stream
+    factory):
+
+    * any call into the stdlib ``random`` module — including a *seeded*
+      ``random.Random(n)``: stdlib generators are a determinism hazard near
+      ``hash()`` (``PYTHONHASHSEED``) and outside the house
+      :class:`~repro.simulation.rng.RandomStreams` discipline, so each use
+      must justify itself with an explicit allow;
+    * ``numpy.random.default_rng()`` / ``RandomState()`` with no arguments
+      (OS-entropy seeding: two runs can never agree);
+    * any legacy ``numpy.random.*`` global-state draw (``rand``, ``seed``,
+      ``shuffle``, ...), which shares hidden mutable state across callers.
+    """
+
+    id = "DET-RNG"
+    title = "no unseeded or stdlib RNG outside simulation/rng.py"
+    rationale = (
+        "A single unseeded draw in a number-determining path breaks "
+        "byte-identity across runs, --jobs levels and store temperatures; "
+        "every stream must derive from the root seed."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel != "repro/simulation/rng.py"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, module.imports)
+            if name is None:
+                continue
+            if name == "random.Random" or name.startswith("random.Random."):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "stdlib random.Random construction — use RandomStreams "
+                    "(simulation/rng.py) or justify with an allow",
+                )
+            elif name.startswith("random."):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"stdlib global-state draw {name}() — use a seeded "
+                    "numpy Generator from RandomStreams",
+                )
+            elif name in _SEED_REQUIRED and not node.args and not node.keywords:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{name}() without a seed draws OS entropy — pass an "
+                    "explicit seed derived from the root seed",
+                )
+            elif (
+                name.startswith("numpy.random.")
+                and name.count(".") == 2
+                and name.rsplit(".", 1)[1] not in _NP_RANDOM_CONSTRUCTORS
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"legacy numpy global-state call {name}() — draw from an "
+                    "explicitly seeded Generator instead",
+                )
+
+
+#: Wall-clock reads that leak nondeterminism into simulated time or records.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules whose outputs feed records, fingerprints or persisted files —
+#: wall-clock reads there can silently become part of "the numbers".
+_CLOCK_SCOPES = (
+    "repro/simulation/",
+    "repro/workload/",
+    "repro/store/",
+    "repro/stats/",
+)
+
+
+@register
+class DetClockRule(Rule):
+    """DET-CLOCK — no wall-clock reads in number-determining subsystems.
+
+    Simulated time is the only clock the simulation, workload, store and
+    stats layers may consult; host-clock reads belong in benchmarks and
+    observers, where they cannot reach records or fingerprints.
+    """
+
+    id = "DET-CLOCK"
+    title = "no wall-clock reads in simulation/workload/store/stats"
+    rationale = (
+        "Host timestamps differ on every run; one leaking into a record or "
+        "a journaled cell makes byte-diff verification impossible."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(_CLOCK_SCOPES)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, module.imports)
+            if name in _CLOCK_CALLS:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"wall-clock read {name}() in a number-determining "
+                    "module — use simulated time (env.now) or move the "
+                    "measurement to a benchmark/observer",
+                )
+
+
+#: Modules whose iteration results feed records, fingerprints or persisted
+#: output; raw unordered iteration there surfaces as byte drift.
+_ORDER_SCOPES = (
+    "repro/store/",
+    "repro/results/",
+    "repro/metrics/",
+    "repro/experiments/",
+)
+
+#: Calls whose result order is an OS artefact wherever they appear.
+_FS_ORDER_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Enclosing calls that make iteration order irrelevant (note ``sum`` is
+#: absent on purpose: float accumulation order changes the bytes).
+_ORDER_NEUTRAL_CALLS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+
+def _set_reason(node: ast.AST, imports) -> Optional[str]:
+    """Why ``node``'s value is an unordered set, or ``None``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal/comprehension has no defined order"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func, imports)
+        if name in ("set", "frozenset"):
+            return f"{name}() has no defined order"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _set_reason(node.left, imports) or _set_reason(node.right, imports)
+    return None
+
+
+@register
+class DetOrderRule(Rule):
+    """DET-ORDER — unordered iteration must not feed persisted output.
+
+    In the record/persistence layers (store, results, metrics, experiments),
+    flags iteration over:
+
+    * sets (literals, comprehensions, ``set()``/``frozenset()`` calls and
+      set-algebra expressions) — Python set order varies with
+      ``PYTHONHASHSEED``;
+    * ``os.listdir`` / ``os.scandir`` / ``glob.*`` results (anywhere in the
+      package) — filesystem enumeration order is an OS artefact;
+    * ``dict.keys() / .values() / .items()`` views **in ``repro/store/``
+      only**: store indexes are populated in journal-replay order, which
+      varies with ``--jobs`` and commit interleaving, so raw view iteration
+      there leaks commit order into listings and reports.  (Ordinary dicts
+      elsewhere iterate in insertion order, which the code controls — they
+      are not flagged.)
+
+    Wrapping the iterable in ``sorted(...)`` — or consuming it with an
+    order-insensitive reducer (``len``, ``min``, ``max``, ``any``, ``all``,
+    ``set``) — satisfies the rule.
+    """
+
+    id = "DET-ORDER"
+    title = "sorted() around unordered iteration feeding persisted output"
+    rationale = (
+        "Set and filesystem order vary across processes and hash seeds; "
+        "store-index order varies with --jobs.  Persisted output built from "
+        "them stops byte-matching."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel.startswith(_ORDER_SCOPES)
+
+    def _is_order_neutral(self, module: ModuleSource, node: ast.AST) -> bool:
+        """Whether an ancestor consumes ``node`` order-insensitively."""
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                name = dotted_name(ancestor.func, module.imports)
+                if name in _ORDER_NEUTRAL_CALLS:
+                    return True
+            if isinstance(ancestor, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in ancestor.ops
+            ):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                break
+        return False
+
+    def _unordered_reason(self, module: ModuleSource, node: ast.AST) -> Optional[str]:
+        reason = _set_reason(node, module.imports)
+        if reason is not None:
+            return reason
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func, module.imports)
+            if name in _FS_ORDER_CALLS:
+                return f"{name}() returns entries in filesystem order"
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("keys", "values", "items")
+                and module.rel.startswith("repro/store/")
+            ):
+                return (
+                    f".{node.func.attr}() of a store index iterates in "
+                    "journal-replay (commit) order"
+                )
+        return None
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        candidates: list = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                candidates.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                candidates.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, module.imports)
+                if name in ("list", "tuple", "iter") and len(node.args) == 1:
+                    candidates.append(node.args[0])
+        for iterable in candidates:
+            reason = self._unordered_reason(module, iterable)
+            if reason is None:
+                continue
+            if self._is_order_neutral(module, iterable):
+                continue
+            yield module.finding(
+                self.id,
+                iterable,
+                f"{reason} — wrap in sorted() (or consume order-"
+                "insensitively) before it reaches records or persisted output",
+            )

@@ -1,0 +1,158 @@
+"""Findings and per-line suppressions of the static-analysis subsystem.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*identity* — the triple ``(path, rule, snippet)`` — deliberately excludes the
+line number: baselined findings must survive unrelated edits that shift code
+up or down, and a finding only "moves" in the baseline sense when the
+offending line itself changes.
+
+Suppressions are in-source annotations::
+
+    entry = self._index.popitem()  # repro: allow[DET-ORDER] last-write-wins replay
+
+A suppression covers the physical line it sits on, or — when written as a
+comment-only line — the first following non-comment line.  ``allow[*]``
+suppresses every rule.  The reason text is not optional politeness: the
+checker counts a reasonless ``allow`` as a finding of its own, so every
+escape hatch in the tree documents why it is sound.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "SUPPRESSION_PATTERN",
+    "parse_suppressions",
+    "suppression_for_line",
+]
+
+#: The in-source suppression syntax: ``# repro: allow[RULE-ID] reason``.
+#: Several ids separate with commas; ``*`` allows every rule.
+SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9*,\- ]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Rule identifier (``"DET-RNG"``, ``"IO-ATOMIC"``, ...).
+    rule: str
+    #: Path of the file, package-relative POSIX form (``"repro/store/cache.py"``).
+    path: str
+    #: 1-based line of the violation.
+    line: int
+    #: 0-based column of the violating node.
+    col: int
+    #: Human explanation of what is wrong and what to use instead.
+    message: str
+    #: The stripped text of the offending line (the baseline anchor).
+    snippet: str = ""
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """The baseline identity: line numbers shift, line *content* is the anchor."""
+        return (self.path, self.rule, self.snippet)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """One ``path:line:col: RULE message`` report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        try:
+            return cls(
+                rule=str(data["rule"]),
+                path=str(data["path"]),
+                line=int(data["line"]),
+                col=int(data["col"]),
+                message=str(data["message"]),
+                snippet=str(data.get("snippet", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(f"malformed finding: {exc}") from exc
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` annotation."""
+
+    #: Line the annotation sits on (1-based).
+    line: int
+    #: Rule ids it allows (``{"*"}`` = every rule).
+    rules: frozenset
+    #: Free-text justification after the bracket (may be empty — reported).
+    reason: str
+    #: Line the suppression *covers* (the annotated code line).
+    covers: int
+    #: Findings this suppression actually silenced (filled by the runner).
+    used: List[Finding] = field(default_factory=list)
+
+    def allows(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def parse_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """Extract every suppression annotation from a file's physical lines.
+
+    A trailing annotation covers its own line; a comment-only annotation line
+    covers the next non-comment, non-blank line (so long expressions can put
+    the allow above them).
+    """
+    suppressions: List[Suppression] = []
+    for number, text in enumerate(lines, start=1):
+        match = SUPPRESSION_PATTERN.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        covers = number
+        if text.lstrip().startswith("#"):
+            # Standalone comment: cover the first real line below it.
+            for offset, following in enumerate(lines[number:], start=number + 1):
+                stripped = following.strip()
+                if stripped and not stripped.startswith("#"):
+                    covers = offset
+                    break
+        suppressions.append(
+            Suppression(
+                line=number,
+                rules=rules,
+                reason=match.group("reason").strip(),
+                covers=covers,
+            )
+        )
+    return suppressions
+
+
+def suppression_for_line(
+    suppressions: Sequence[Suppression], line: int, rule: str
+) -> Optional[Suppression]:
+    """The first suppression covering ``line`` for ``rule``, if any."""
+    for suppression in suppressions:
+        if suppression.covers == line and suppression.allows(rule):
+            return suppression
+    return None

@@ -1,0 +1,284 @@
+"""The check runner: discover files, apply rules, report, gate.
+
+:func:`run_check` is the engine behind ``repro check`` and ``api.check``:
+
+1. discover ``.py`` files under the given paths (sorted walk — the report
+   itself honours DET-ORDER);
+2. parse each into a :class:`~repro.analysis.rules.ModuleSource` and run
+   every registered (or selected) rule scoped to it;
+3. drop findings covered by in-source ``# repro: allow[...]`` suppressions
+   (counting them, and flagging reasonless allows);
+4. subtract the committed baseline, or rewrite it under
+   ``--update-baseline``;
+5. return a :class:`CheckReport` with text/JSON renderers and the exit code
+   CI gates on (0 = clean, 1 = active findings, 2 = usage error — the CLI's
+   convention).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from .baseline import load_baseline, partition_findings, save_baseline
+from .findings import Finding, suppression_for_line
+from .rules import RULE_REGISTRY, ModuleSource, select_rules
+
+__all__ = ["CheckReport", "run_check", "lint_source", "default_baseline_path"]
+
+#: Rule id of the meta-finding on a reasonless ``allow``.
+_SUPPRESSION_RULE = "SUP-REASON"
+
+
+def _package_relative(path: str) -> str:
+    """Path relative to the outermost enclosing package, POSIX separators.
+
+    ``src/repro/store/cache.py`` → ``"repro/store/cache.py"`` (walks up
+    while ``__init__.py`` exists, so scoped rules see stable module paths
+    whatever directory the checker was pointed at).
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    parts = [os.path.basename(path)]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    return "/".join(reversed(parts))
+
+
+def _discover(paths: Sequence[str]) -> List[str]:
+    """Every ``.py`` file under ``paths``, absolute, sorted, de-duplicated."""
+    files: List[str] = []
+    for path in paths:
+        path = os.path.abspath(os.fspath(path))
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                files.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise AnalysisError(f"no such file or directory: {path!r}")
+        for root, dirs, names in os.walk(path):
+            dirs.sort()
+            dirs[:] = [d for d in dirs if d != "__pycache__"]
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    files.append(os.path.join(root, name))
+    seen = set()
+    unique = []
+    for file_path in files:
+        if file_path not in seen:
+            seen.add(file_path)
+            unique.append(file_path)
+    return unique
+
+
+def default_baseline_path() -> str:
+    """The committed baseline shipped with the package."""
+    return os.path.join(os.path.dirname(__file__), "lint_baseline.json")
+
+
+def default_check_paths() -> List[str]:
+    """What ``repro check`` scans when given no paths: the package itself."""
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``repro check`` run."""
+
+    #: Findings that gate (not suppressed, not baselined), canonical order.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings grandfathered by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Findings silenced by in-source ``allow`` annotations.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Files checked (package-relative), sorted.
+    files: List[str] = field(default_factory=list)
+    #: Rule ids that ran.
+    rules: List[str] = field(default_factory=list)
+    #: Baseline file consulted (or rewritten).
+    baseline_path: str = ""
+    #: Whether the baseline file was rewritten by this run.
+    baseline_updated: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render(self) -> str:
+        """The human report: one line per finding, then the tallies."""
+        lines = [finding.render() for finding in self.findings]
+        if lines:
+            lines.append("")
+        summary = (
+            f"{len(self.findings)} finding(s) in {len(self.files)} file(s) "
+            f"({len(self.rules)} rule(s))"
+        )
+        extras = []
+        if self.suppressed:
+            extras.append(f"{len(self.suppressed)} suppressed")
+        if self.baselined:
+            extras.append(f"{len(self.baselined)} baselined")
+        if self.baseline_updated:
+            extras.append(f"baseline rewritten: {self.baseline_path}")
+        if extras:
+            summary += " — " + ", ".join(extras)
+        lines.append(summary)
+        if self.findings:
+            for rule, count in self.counts_by_rule().items():
+                lines.append(f"  {rule}: {count}")
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The machine-readable report (the CI ``lint-report`` artifact)."""
+        return {
+            "format": "repro-lint-report",
+            "version": 1,
+            "clean": self.clean,
+            "files": list(self.files),
+            "rules": list(self.rules),
+            "counts": self.counts_by_rule(),
+            "findings": [finding.to_json_dict() for finding in self.findings],
+            "baselined": [finding.to_json_dict() for finding in self.baselined],
+            "suppressed": [finding.to_json_dict() for finding in self.suppressed],
+            "baseline_path": self.baseline_path,
+            "baseline_updated": self.baseline_updated,
+        }
+
+    def save_json(self, path: Union[str, "os.PathLike[str]"]) -> str:
+        """Write :meth:`to_json_dict` atomically; returns the path."""
+        import json
+
+        from ..store.journal import atomic_write_text  # deferred: import cycle
+
+        return atomic_write_text(
+            os.fspath(path),
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n",
+        )
+
+
+def _check_module(module: ModuleSource, rules) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` over one module; returns ``(raw, suppressed)``.
+
+    Suppression accounting happens here so the ``allow`` annotations of one
+    file only ever apply to that file.
+    """
+    raw: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module.rel):
+            continue
+        raw.extend(rule.check(module))
+    kept: List[Finding] = []
+    silenced: List[Finding] = []
+    for finding in raw:
+        suppression = suppression_for_line(
+            module.suppressions, finding.line, finding.rule
+        )
+        if suppression is None:
+            kept.append(finding)
+        else:
+            suppression.used.append(finding)
+            silenced.append(finding)
+    # A reasonless allow is itself a finding: the escape hatch must document
+    # why the rule does not apply, or reviewers cannot audit it.
+    for suppression in module.suppressions:
+        if suppression.used and not suppression.reason:
+            kept.append(
+                Finding(
+                    rule=_SUPPRESSION_RULE,
+                    path=module.rel,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "allow[...] without a reason — state why the rule "
+                        "does not apply here"
+                    ),
+                    snippet=module.line_text(suppression.line),
+                )
+            )
+    return kept, silenced
+
+
+def lint_source(
+    text: str, rel: str, rules: Optional[Sequence[str]] = None, abspath: str = ""
+) -> List[Finding]:
+    """Lint one in-memory source at a given package-relative path.
+
+    The unit-test entry point: rule scoping sees ``rel`` exactly as given,
+    so fixtures can target ``"repro/store/whatever.py"`` without building a
+    package tree on disk.  Suppressions apply; no baseline is consulted.
+    """
+    module = ModuleSource.parse(text, rel, abspath=abspath)
+    kept, _ = _check_module(module, select_rules(rules))
+    return sorted(kept, key=lambda finding: finding.sort_key)
+
+
+def run_check(
+    paths: Optional[Sequence[str]] = None,
+    *,
+    baseline: Optional[Union[str, "os.PathLike[str]"]] = None,
+    update_baseline: bool = False,
+    select: Optional[Sequence[str]] = None,
+    json_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+) -> CheckReport:
+    """Run the checker; see the module docstring for the pipeline.
+
+    ``paths`` defaults to the installed ``repro`` package; ``baseline`` to
+    the committed ``analysis/lint_baseline.json``.  ``update_baseline``
+    rewrites the baseline to the current (unsuppressed) finding set and
+    reports clean.  ``json_path`` additionally saves the JSON report.
+    """
+    rules = select_rules(select)
+    baseline_path = os.fspath(baseline) if baseline else default_baseline_path()
+    file_paths = _discover(paths if paths else default_check_paths())
+
+    all_findings: List[Finding] = []
+    all_suppressed: List[Finding] = []
+    files: List[str] = []
+    for abspath in file_paths:
+        with open(abspath, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        module = ModuleSource.parse(text, _package_relative(abspath), abspath=abspath)
+        files.append(module.rel)
+        kept, silenced = _check_module(module, rules)
+        all_findings.extend(kept)
+        all_suppressed.extend(silenced)
+
+    if update_baseline:
+        save_baseline(baseline_path, all_findings)
+        active, grandfathered = [], sorted(
+            all_findings, key=lambda finding: finding.sort_key
+        )
+        updated = True
+    else:
+        active, grandfathered = partition_findings(
+            all_findings, load_baseline(baseline_path)
+        )
+        updated = False
+
+    report = CheckReport(
+        findings=active,
+        baselined=grandfathered,
+        suppressed=sorted(all_suppressed, key=lambda finding: finding.sort_key),
+        files=sorted(files),
+        rules=sorted(rule.id for rule in rules),
+        baseline_path=baseline_path,
+        baseline_updated=updated,
+    )
+    if json_path is not None:
+        report.save_json(json_path)
+    return report

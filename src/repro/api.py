@@ -19,6 +19,8 @@ versions:
   records whatever the execution order or ``jobs`` level.
 * :func:`compare` — structural diff of two result sets (or result files):
   the programmatic form of ``repro results diff``.
+* :func:`check` — the static determinism & contract linter
+  (:mod:`repro.analysis`): the programmatic form of ``repro check``.
 
 Quickstart::
 
@@ -45,7 +47,16 @@ from .experiments.registry import run_experiment
 from .results import CampaignObserver, ResultDiff, ResultSet, diff_result_sets
 from .store import CampaignStore, open_store, resume_experiment
 
-__all__ = ["run", "sweep", "resume", "validate", "load_results", "save_results", "compare"]
+__all__ = [
+    "run",
+    "sweep",
+    "resume",
+    "validate",
+    "check",
+    "load_results",
+    "save_results",
+    "compare",
+]
 
 #: Things accepted wherever a result set is expected: the set itself, a
 #: result object carrying one, or a path to a saved file.
@@ -217,6 +228,38 @@ def validate(
     if json_path is not None:
         report.save_json(json_path)
     return report
+
+
+def check(
+    paths: Optional[Sequence[Union[str, "os.PathLike[str]"]]] = None,
+    *,
+    baseline: Optional[Union[str, "os.PathLike[str]"]] = None,
+    update_baseline: bool = False,
+    select: Optional[Sequence[str]] = None,
+    json_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+):
+    """Statically check sources against the determinism & contract rules.
+
+    Runs the :mod:`repro.analysis` linter (stdlib ``ast``, no third-party
+    dependencies) over ``paths`` — by default the installed ``repro``
+    package: seeded RNG only, no wall clocks in the simulation path, ordered
+    iteration wherever bytes are persisted, declared fingerprint roles on
+    every config field, atomic persistence writes, exact float text, a
+    stable ``__all__`` surface and library-hierarchy exceptions in dispatch
+    paths.  Returns the :class:`~repro.analysis.CheckReport`; gate on
+    ``report.clean`` / ``report.exit_code``.  ``json_path`` additionally
+    writes the machine-readable report (the CI ``lint-report`` artifact).
+    The shell form is ``repro check``.
+    """
+    from .analysis import run_check  # deferred: keeps `import repro.api` light
+
+    return run_check(
+        None if paths is None else [os.fspath(p) for p in paths],
+        baseline=baseline,
+        update_baseline=update_baseline,
+        select=select,
+        json_path=json_path,
+    )
 
 
 def load_results(path: Union[str, "os.PathLike[str]"]) -> ResultSet:

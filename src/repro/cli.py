@@ -39,6 +39,15 @@ queueing theory (exit 0 = all checks pass)::
     repro validate
     repro validate --quick --json validation-report.json
 
+The static determinism & contract linter (:mod:`repro.analysis`) proves the
+source conventions behind byte-identical results at parse time (exit 0 =
+no active finding)::
+
+    repro check
+    repro check --json lint-report.json
+    repro check --list-rules
+    repro check --update-baseline
+
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
 seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
@@ -259,6 +268,54 @@ def build_validate_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="additionally write the machine-readable report to FILE "
         "(the CI artifact)",
+    )
+    return parser
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro check`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Statically check the source tree against the "
+        "determinism & contract rules (seeded RNG only, no wall clocks, "
+        "ordered persisted iteration, declared fingerprint roles, atomic "
+        "writes, exact float text, stable API surface, library exceptions). "
+        "Exits 0 when no active finding remains, 1 otherwise.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to check (default: the installed repro "
+        "package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of grandfathered findings (default: the "
+        "committed src/repro/analysis/lint_baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current finding set and exit 0 "
+        "(review the file's diff to accept or retire debt)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="additionally write the machine-readable report to FILE "
+        "(the CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
     )
     return parser
 
@@ -536,6 +593,38 @@ def _validate_main(argv: List[str]) -> int:
     return 0 if report.passed else 1
 
 
+def _check_main(argv: List[str]) -> int:
+    from .analysis import RULE_REGISTRY, run_check
+    from .errors import AnalysisError
+
+    parser = build_check_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_REGISTRY):
+            rule = RULE_REGISTRY[rule_id]
+            print(f"{rule.id:12} {rule.title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
+    try:
+        report = run_check(
+            args.paths or None,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+            select=select,
+            json_path=args.json,
+        )
+    except (AnalysisError, OSError) as exc:
+        parser.error(str(exc))
+    print(report.render())
+    if args.json:
+        print(f"wrote {args.json}", file=sys.stderr)
+    return report.exit_code
+
+
 def _results_main(argv: List[str]) -> int:
     from . import api
     from .errors import ResultsError
@@ -586,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "validate":
         return _validate_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -24,6 +24,8 @@ class RandomHeuristic(Heuristic):
     name = "random"
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
+        # repro: allow[DET-RNG] interactive convenience fallback only — every
+        # campaign/experiment path passes a generator seeded from the root seed
         self._rng = rng if rng is not None else np.random.default_rng()
 
     def select(self, context: SchedulingContext) -> Decision:

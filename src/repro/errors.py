@@ -25,6 +25,7 @@ __all__ = [
     "MetricsError",
     "StatsError",
     "ValidationFailure",
+    "AnalysisError",
 ]
 
 
@@ -149,3 +150,10 @@ class StatsError(ReproError):
 
 class ValidationFailure(StatsError):
     """An analytical validation check failed (simulator vs closed form)."""
+
+
+# --------------------------------------------------------------------------- #
+# Static analysis
+# --------------------------------------------------------------------------- #
+class AnalysisError(ReproError):
+    """Error raised by the static-analysis subsystem (:mod:`repro.analysis`)."""

@@ -130,6 +130,8 @@ class RunResult:
         for task in self.tasks:
             if task.task_id == task_id:
                 return task
+        # repro: allow[EXC-BARE] mapping-protocol lookup: callers rely on
+        # KeyError semantics (pinned by tests/platform/test_middleware.py)
         raise KeyError(task_id)
 
 

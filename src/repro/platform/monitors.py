@@ -86,6 +86,8 @@ class LoadMonitor:
         self.period = float(period)
         self.delay = float(delay)
         self.jitter = float(jitter)
+        # repro: allow[DET-RNG] interactive convenience fallback only — every
+        # campaign/experiment path passes a generator seeded from the root seed
         self._rng = rng if rng is not None else np.random.default_rng()
         self.reports_sent = 0
         self.process = env.process(self._run(), name=f"monitor-{server.name}")

@@ -120,6 +120,8 @@ class ComputeServer:
         self._problems: Set[str] = set(problems)
         self.memory_model = memory_model if memory_model is not None else MemoryModel(enabled=False)
         self.noise_model = noise_model
+        # repro: allow[DET-RNG] interactive convenience fallback only — every
+        # campaign/experiment path passes a generator seeded from the root seed
         self._rng = rng if rng is not None else np.random.default_rng()
 
         self.network = FluidNetwork(

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import ResultsError
@@ -150,35 +151,63 @@ class RunRecord:
             raise ResultsError(f"malformed run record: {exc}") from exc
 
 
+#: Canonical JSON encodings named by ``config_field(encode=...)``.
+_FINGERPRINT_ENCODERS = {
+    None: lambda value: value,
+    "asdict": asdict,
+    "list": list,
+}
+
+
 def config_fingerprint(config: Any) -> str:
     """Stable fingerprint of an :class:`ExperimentConfig`.
 
     Hashes the fields that *determine the numbers* — scale, root seed,
     arrival rates, heuristic set, reference and the full middleware
     configuration — and deliberately excludes execution-only knobs
-    (``jobs``, observers): a campaign run serially and one fanned out over a
-    pool must stamp identical hashes, or saved files could never be
+    (``jobs``, observers, store): a campaign run serially and one fanned out
+    over a pool must stamp identical hashes, or saved files could never be
     byte-compared across machines.
+
+    The include/exclude sets are not listed here: they derive from each
+    field's :func:`repro.experiments.config.config_field` declaration
+    (``number_determining``, plus the ``encode``/``group``/``gate`` payload
+    hints).  A config field without that metadata raises — a new knob cannot
+    silently land on either side of the fingerprint boundary.  Grouped
+    fields nest under a sub-mapping included only while the group's gate
+    field is non-``None`` (the sequential stopping knobs only count once
+    armed), which keeps every pre-existing fixed-repetition fingerprint
+    byte-identical.
     """
-    payload = {
-        "scale": asdict(config.scale),
-        "seed": config.seed,
-        "low_rate_s": config.low_rate_s,
-        "high_rate_s": config.high_rate_s,
-        "heuristics": list(config.heuristics),
-        "reference": config.reference,
-        "middleware": asdict(config.middleware),
-    }
-    # The sequential stopping rule decides *how many* repetitions run, so its
-    # knobs are number-determining.  Added only when active (``ci_target``
-    # set) so every pre-existing fixed-repetition fingerprint is unchanged.
-    if getattr(config, "ci_target", None) is not None:
-        payload["sequential"] = {
-            "ci_target": config.ci_target,
-            "ci_metric": config.ci_metric,
-            "ci_confidence": config.ci_confidence,
-            "ci_min_reps": config.ci_min_reps,
-            "ci_max_reps": config.ci_max_reps,
-        }
+    payload: Dict[str, Any] = {}
+    groups: Dict[str, Dict[str, Any]] = {}
+    armed: Dict[str, bool] = {}
+    for config_field in dataclass_fields(config):
+        metadata = config_field.metadata
+        if "number_determining" not in metadata:
+            raise ResultsError(
+                f"config field {config_field.name!r} does not declare its "
+                "fingerprint role — define it with "
+                "config_field(number_determining=...)"
+            )
+        if not metadata["number_determining"]:
+            continue
+        encode = metadata.get("fingerprint_encode")
+        if encode not in _FINGERPRINT_ENCODERS:
+            raise ResultsError(
+                f"config field {config_field.name!r} names unknown "
+                f"fingerprint encoding {encode!r}"
+            )
+        value = _FINGERPRINT_ENCODERS[encode](getattr(config, config_field.name))
+        group = metadata.get("fingerprint_group")
+        if group is None:
+            payload[config_field.name] = value
+        else:
+            groups.setdefault(group, {})[config_field.name] = value
+            if metadata.get("fingerprint_gate"):
+                armed[group] = value is not None
+    for group_name, group_payload in groups.items():
+        if armed.get(group_name, True):
+            payload[group_name] = group_payload
     canonical = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]

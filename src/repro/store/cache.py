@@ -161,6 +161,8 @@ class CellEntry:
                 completions=(
                     None
                     if completions is None
+                    # repro: allow[DET-ORDER] order-preserving re-keying of an
+                    # already-journaled mapping; no new order is produced
                     else {str(k): float(v) for k, v in dict(completions).items()}
                 ),
             )
@@ -236,8 +238,28 @@ class CampaignStore:
         return key.digest in self._index
 
     def entries(self) -> Iterator[CellEntry]:
-        """Every cached cell, in journal (commit) order, last write wins."""
-        return iter(self._index.values())
+        """Every cached cell, in canonical key order, last write wins.
+
+        The index itself is in journal (commit) order, which depends on how
+        the campaign interleaved its workers — ``--jobs 4`` and ``--jobs 1``
+        commit in different orders.  Listings and reports built from this
+        iterator must not inherit that accident, so entries are sorted by
+        their cell coordinates (the DET-ORDER contract).
+        """
+        return iter(
+            sorted(
+                self._index.values(),
+                key=lambda entry: (
+                    entry.key.experiment_id,
+                    entry.key.heuristic,
+                    entry.key.metatask_index,
+                    entry.key.repetition,
+                    entry.key.seed,
+                    entry.key.config_hash,
+                    entry.key.workload_hash,
+                ),
+            )
+        )
 
     def experiment_ids(self) -> List[str]:
         """Distinct experiment ids present in the cache, sorted."""
@@ -259,11 +281,14 @@ class CampaignStore:
         """
         keep = {
             digest: entry
+            # repro: allow[DET-ORDER] compaction deliberately preserves the
+            # journal's commit order; replay is last-write-wins either way
             for digest, entry in self._index.items()
             if not predicate(entry)
         }
         removed = len(self._index) - len(keep)
         if removed:
+            # repro: allow[DET-ORDER] rewrites in preserved commit order (above)
             self.journal.rewrite([entry.to_json_dict() for entry in keep.values()])
             self._index = keep
         return removed

@@ -123,6 +123,8 @@ def generate_metatask(
         raise WorkloadError("a metatask needs at least one task")
     if not problems:
         raise WorkloadError("at least one problem spec is required")
+    # repro: allow[DET-RNG] interactive convenience fallback only — every
+    # campaign/experiment path passes a generator seeded from the root seed
     rng = rng if rng is not None else np.random.default_rng()
 
     if problem_weights is not None:

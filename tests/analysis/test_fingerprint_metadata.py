@@ -1,0 +1,158 @@
+"""The declarative fingerprint contract and its byte-identity guarantee.
+
+This PR replaced the hand-built payload of ``config_fingerprint`` with a
+derivation from per-field ``config_field(number_determining=...)`` metadata.
+The golden hashes below were computed against the *old* hand-built payload
+before the refactor: if any of them moves, the derivation changed the bytes
+and every existing campaign store silently goes cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.experiments.config import (
+    SMOKE_SCALE,
+    ExperimentConfig,
+    config_field,
+    execution_only_fields,
+    field_roles,
+    number_determining_fields,
+)
+from repro.errors import ResultsError
+from repro.results.records import config_fingerprint
+
+
+BASE = ExperimentConfig()
+
+
+class TestGoldenHashes:
+    """Pinned against the pre-refactor hand-built payload."""
+
+    def test_default_config(self):
+        assert config_fingerprint(BASE) == "838d3a5d4971"
+
+    def test_smoke_scale_seed_7(self):
+        assert (
+            config_fingerprint(BASE.with_scale(SMOKE_SCALE).with_seed(7))
+            == "d82172850a39"
+        )
+
+    def test_sequential_stopping_armed(self):
+        assert (
+            config_fingerprint(BASE.with_ci_target(0.05, ci_max_reps=16))
+            == "79d20c0e0d75"
+        )
+
+
+class TestDerivedRoleSets:
+    def test_roles_cover_every_field(self):
+        import dataclasses
+
+        roles = field_roles()
+        assert set(roles) == {f.name for f in dataclasses.fields(ExperimentConfig)}
+
+    def test_number_determining_side(self):
+        assert number_determining_fields() == (
+            "scale",
+            "seed",
+            "low_rate_s",
+            "high_rate_s",
+            "heuristics",
+            "reference",
+            "middleware",
+            "ci_target",
+            "ci_metric",
+            "ci_confidence",
+            "ci_min_reps",
+            "ci_max_reps",
+        )
+
+    def test_execution_only_side(self):
+        assert execution_only_fields() == ("jobs", "observers", "store")
+
+    def test_execution_only_fields_do_not_move_the_hash(self):
+        for changed in (
+            BASE.with_jobs(8),
+            BASE.with_store("some/dir"),
+        ):
+            assert config_fingerprint(changed) == config_fingerprint(BASE)
+
+    def test_every_number_determining_scalar_moves_the_hash(self):
+        moved = [
+            BASE.with_seed(7),
+            BASE.with_scale(SMOKE_SCALE),
+            BASE.with_ci_target(0.05),
+        ]
+        for changed in moved:
+            assert config_fingerprint(changed) != config_fingerprint(BASE)
+
+    def test_sequential_group_is_gated_on_ci_target(self):
+        # With the gate disarmed, the other sequential knobs are inert: a
+        # pre-sequential-era fingerprint must never move when defaults of the
+        # disarmed group evolve.
+        from dataclasses import replace
+
+        assert config_fingerprint(replace(BASE, ci_max_reps=99)) == config_fingerprint(
+            BASE
+        )
+        # Armed, the same knob is number-determining.
+        armed = BASE.with_ci_target(0.05)
+        assert config_fingerprint(
+            replace(armed, ci_max_reps=99)
+        ) != config_fingerprint(armed)
+
+
+class TestUndeclaredFieldsFailLoudly:
+    def test_field_without_metadata_raises_at_fingerprint_time(self):
+        @dataclass(frozen=True)
+        class Sneaky:
+            seed: int = 2003
+
+        with pytest.raises(ResultsError, match="fingerprint role"):
+            config_fingerprint(Sneaky())
+
+    def test_field_roles_raises_too(self):
+        @dataclass(frozen=True)
+        class Sneaky:
+            seed: int = 2003
+
+        with pytest.raises(TypeError, match="fingerprint role"):
+            field_roles(Sneaky)
+
+    def test_unknown_encoding_raises(self):
+        @dataclass(frozen=True)
+        class Odd:
+            value: int = field(
+                default=1,
+                metadata={"number_determining": True, "fingerprint_encode": "pickle"},
+            )
+
+        with pytest.raises(ResultsError, match="unknown"):
+            config_fingerprint(Odd())
+
+    def test_config_field_builds_the_metadata(self):
+        @dataclass(frozen=True)
+        class Declared:
+            value: int = config_field(number_determining=True, default=1)
+            knob: int = config_field(number_determining=False, default=2)
+
+        assert field_roles(Declared) == {"value": True, "knob": False}
+        assert number_determining_fields(Declared) == ("value",)
+        assert execution_only_fields(Declared) == ("knob",)
+
+    def test_static_rule_catches_the_same_mistake(self):
+        """FP-FIELD fires on the declaration the runtime check fires on."""
+        from repro.analysis import lint_source
+
+        found = lint_source(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class ExperimentConfig:\n"
+            "    sneaky: int = 7\n",
+            "repro/experiments/config.py",
+            rules=["FP-FIELD"],
+        )
+        assert [finding.rule for finding in found] == ["FP-FIELD"]

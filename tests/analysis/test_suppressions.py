@@ -1,0 +1,177 @@
+"""Suppression annotations and the grandfathered-finding baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    lint_source,
+    load_baseline,
+    parse_suppressions,
+    partition_findings,
+    save_baseline,
+)
+from repro.errors import AnalysisError
+
+
+UNSEEDED = """
+import numpy as np
+rng = np.random.default_rng()
+"""
+
+
+class TestSuppressionParsing:
+    def test_trailing_annotation_covers_its_own_line(self):
+        sups = parse_suppressions(
+            ["x = 1", "y = f()  # repro: allow[DET-RNG] because reasons"]
+        )
+        assert len(sups) == 1
+        assert sups[0].line == 2
+        assert sups[0].covers == 2
+        assert sups[0].rules == frozenset({"DET-RNG"})
+        assert sups[0].reason == "because reasons"
+
+    def test_comment_only_annotation_covers_the_next_code_line(self):
+        sups = parse_suppressions(
+            [
+                "# repro: allow[DET-ORDER] replay is last-write-wins",
+                "# (continued explanation)",
+                "for k in index.values():",
+            ]
+        )
+        assert sups[0].covers == 3
+
+    def test_multiple_rules_and_wildcard(self):
+        sups = parse_suppressions(["x = f()  # repro: allow[DET-RNG, IO-ATOMIC]"])
+        assert sups[0].rules == frozenset({"DET-RNG", "IO-ATOMIC"})
+        assert sups[0].allows("DET-RNG")
+        assert not sups[0].allows("DET-CLOCK")
+        star = parse_suppressions(["x = f()  # repro: allow[*] fixture"])
+        assert star[0].allows("ANYTHING")
+
+
+class TestSuppressionEffect:
+    def test_allow_silences_the_finding(self):
+        text = textwrap.dedent(
+            """
+            import numpy as np
+            # repro: allow[DET-RNG] fixture: interactive fallback
+            rng = np.random.default_rng()
+            """
+        )
+        assert not lint_source(text, "repro/workload/example.py", rules=["DET-RNG"])
+
+    def test_allow_for_a_different_rule_does_not_silence(self):
+        text = textwrap.dedent(
+            """
+            import numpy as np
+            # repro: allow[DET-CLOCK] wrong rule id
+            rng = np.random.default_rng()
+            """
+        )
+        found = lint_source(text, "repro/workload/example.py", rules=["DET-RNG"])
+        assert [finding.rule for finding in found] == ["DET-RNG"]
+
+    def test_reasonless_used_allow_becomes_a_finding(self):
+        text = textwrap.dedent(
+            """
+            import numpy as np
+            rng = np.random.default_rng()  # repro: allow[DET-RNG]
+            """
+        )
+        found = lint_source(text, "repro/workload/example.py", rules=["DET-RNG"])
+        assert [finding.rule for finding in found] == ["SUP-REASON"]
+
+    def test_unused_reasonless_allow_is_not_reported(self):
+        text = "x = 1  # repro: allow[DET-RNG]\n"
+        assert not lint_source(text, "repro/workload/example.py", rules=["DET-RNG"])
+
+
+class TestFindingModel:
+    def test_identity_excludes_the_line_number(self):
+        a = Finding(rule="DET-RNG", path="p.py", line=3, col=0, message="m", snippet="s")
+        b = Finding(rule="DET-RNG", path="p.py", line=9, col=4, message="m", snippet="s")
+        assert a.identity == b.identity
+
+    def test_render_and_json_round_trip(self):
+        finding = Finding(
+            rule="IO-ATOMIC", path="repro/store/x.py", line=5, col=2,
+            message="bad write", snippet='open(p, "w")',
+        )
+        assert finding.render() == "repro/store/x.py:5:2: IO-ATOMIC bad write"
+        assert Finding.from_json_dict(finding.to_json_dict()) == finding
+
+    def test_malformed_finding_fails_loudly(self):
+        with pytest.raises(AnalysisError):
+            Finding.from_json_dict({"rule": "X"})
+
+
+class TestBaseline:
+    def _finding(self, snippet="rng = np.random.default_rng()", line=3):
+        return Finding(
+            rule="DET-RNG", path="repro/workload/example.py", line=line, col=6,
+            message="unseeded", snippet=snippet,
+        )
+
+    def test_round_trip_partitions_everything_as_grandfathered(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [self._finding(), self._finding(line=9)]
+        save_baseline(path, findings)
+        active, baselined = partition_findings(findings, load_baseline(path))
+        assert not active
+        assert len(baselined) == 2
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_changed_snippet_stops_matching(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self._finding()])
+        edited = self._finding(snippet="rng = np.random.default_rng()  # edited")
+        active, baselined = partition_findings([edited], load_baseline(path))
+        assert len(active) == 1
+        assert not baselined
+
+    def test_baseline_is_a_multiset(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self._finding()])
+        two = [self._finding(line=3), self._finding(line=9)]
+        active, baselined = partition_findings(two, load_baseline(path))
+        assert len(baselined) == 1
+        assert len(active) == 1
+        # The earlier occurrence matches first (canonical order).
+        assert baselined[0].line == 3
+
+    def test_corrupt_baseline_fails_loudly(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_wrong_format_fails_loudly(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_future_version_fails_loudly(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {"format": "repro-lint-baseline", "version": 99, "findings": []}
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_saved_file_is_canonically_sorted_and_stable(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        findings = [self._finding(snippet="zzz"), self._finding(snippet="aaa")]
+        save_baseline(a, findings)
+        save_baseline(b, list(reversed(findings)))
+        assert a.read_bytes() == b.read_bytes()

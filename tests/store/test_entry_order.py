@@ -1,0 +1,97 @@
+"""Store listings are independent of journal commit order (DET-ORDER fix).
+
+The in-memory index is populated in journal-replay order, which is whatever
+order the campaign's workers happened to commit in — ``--jobs 1`` and
+``--jobs 4`` runs of the same campaign journal the same cells in different
+orders.  ``entries()`` therefore sorts by cell coordinates, so ``repro cache
+ls`` and anything else built on it renders identically whatever execution
+produced the store.
+"""
+
+from __future__ import annotations
+
+from repro.results.records import RunRecord
+from repro.store import CampaignStore, CellEntry, CellKey
+
+
+def entry(heuristic: str, metatask: int, repetition: int = 0, experiment="table5"):
+    key = CellKey(
+        config_hash="abc123",
+        experiment_id=experiment,
+        heuristic=heuristic,
+        metatask_index=metatask,
+        repetition=repetition,
+        seed=2003 + metatask,
+    )
+    record = RunRecord(
+        experiment_id=experiment,
+        heuristic=heuristic,
+        metatask_index=metatask,
+        repetition=repetition,
+        seed=key.seed,
+        config_hash=key.config_hash,
+        metrics={"sum_flow": 1.5},
+    )
+    return CellEntry(key=key, record=record)
+
+
+SCRAMBLED = [
+    entry("msf", 2),
+    entry("mct", 0),
+    entry("mp", 1),
+    entry("hmct", 2),
+    entry("mct", 1),
+    entry("table9-first", 0, experiment="table4"),
+]
+
+
+def coordinates(store):
+    return [
+        (e.key.experiment_id, e.key.heuristic, e.key.metatask_index)
+        for e in store.entries()
+    ]
+
+
+class TestCanonicalEntryOrder:
+    def test_entries_sort_by_cell_coordinates(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        for cell in SCRAMBLED:
+            store.put(cell)
+        assert coordinates(store) == sorted(coordinates(store))
+
+    def test_listing_is_independent_of_commit_order(self, tmp_path):
+        forward = CampaignStore(tmp_path / "forward")
+        backward = CampaignStore(tmp_path / "backward")
+        for cell in SCRAMBLED:
+            forward.put(cell)
+        for cell in reversed(SCRAMBLED):
+            backward.put(cell)
+        assert coordinates(forward) == coordinates(backward)
+
+    def test_reopened_store_lists_identically(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        for cell in SCRAMBLED:
+            store.put(cell)
+        listing = coordinates(store)
+        assert coordinates(CampaignStore(tmp_path / "store")) == listing
+
+    def test_last_write_still_wins_after_sorting(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        first = entry("mct", 0)
+        store.put(first)
+        updated = CellEntry(
+            key=first.key,
+            record=RunRecord(
+                experiment_id="table5",
+                heuristic="mct",
+                metatask_index=0,
+                repetition=0,
+                seed=first.key.seed,
+                config_hash=first.key.config_hash,
+                metrics={"sum_flow": 9.0},
+            ),
+        )
+        store.put(updated)
+        entries = list(store.entries())
+        assert len(entries) == 1
+        assert entries[0].record.metrics["sum_flow"] == 9.0
