@@ -131,34 +131,35 @@ _CLOCK_CALLS = frozenset(
     }
 )
 
-#: Modules whose outputs feed records, fingerprints or persisted files —
-#: wall-clock reads there can silently become part of "the numbers".
-_CLOCK_SCOPES = (
-    "repro/simulation/",
-    "repro/workload/",
-    "repro/store/",
-    "repro/stats/",
-)
+#: The one package allowed to read the host clock: ``repro.obs`` owns wall
+#: time (phase timers, throughput display) and never feeds records,
+#: fingerprints or persisted result bytes.
+_CLOCK_EXEMPT = "repro/obs/"
 
 
 @register
 class DetClockRule(Rule):
-    """DET-CLOCK — no wall-clock reads in number-determining subsystems.
+    """DET-CLOCK — no wall-clock reads anywhere except ``repro.obs``.
 
-    Simulated time is the only clock the simulation, workload, store and
-    stats layers may consult; host-clock reads belong in benchmarks and
-    observers, where they cannot reach records or fingerprints.
+    Simulated time is the only clock the library may consult; the single
+    exemption is the observability package, where wall time is the *point*
+    (phase timers, throughput, ETA) and is kept out of records and traces by
+    construction.  Everything else — including code that merely *displays*
+    elapsed time — must route through ``repro.obs.perf_counter`` /
+    ``repro.obs.PhaseTimer`` so every host-clock read in the tree is
+    auditable from one module.
     """
 
     id = "DET-CLOCK"
-    title = "no wall-clock reads in simulation/workload/store/stats"
+    title = "no wall-clock reads outside repro.obs"
     rationale = (
         "Host timestamps differ on every run; one leaking into a record or "
-        "a journaled cell makes byte-diff verification impossible."
+        "a journaled cell makes byte-diff verification impossible.  Funnel "
+        "wall time through repro.obs, the audited exemption."
     )
 
     def applies_to(self, rel: str) -> bool:
-        return rel.startswith(_CLOCK_SCOPES)
+        return rel.startswith("repro/") and not rel.startswith(_CLOCK_EXEMPT)
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -169,9 +170,9 @@ class DetClockRule(Rule):
                 yield module.finding(
                     self.id,
                     node,
-                    f"wall-clock read {name}() in a number-determining "
-                    "module — use simulated time (env.now) or move the "
-                    "measurement to a benchmark/observer",
+                    f"wall-clock read {name}() outside repro.obs — use "
+                    "simulated time (env.now), or route the measurement "
+                    "through repro.obs (perf_counter / PhaseTimer)",
                 )
 
 

@@ -21,6 +21,11 @@ versions:
   the programmatic form of ``repro results diff``.
 * :func:`check` — the static determinism & contract linter
   (:mod:`repro.analysis`): the programmatic form of ``repro check``.
+* :func:`profile` / :func:`trace` — the observability subsystem
+  (:mod:`repro.obs`): phase timers, hot-path counters and optional
+  ``cProfile`` for one scenario campaign, or a virtual-time event trace
+  exported as JSONL / Chrome ``trace_event``.  The programmatic forms of
+  ``repro profile run`` and ``repro profile trace``.
 
 Quickstart::
 
@@ -53,6 +58,8 @@ __all__ = [
     "resume",
     "validate",
     "check",
+    "profile",
+    "trace",
     "load_results",
     "save_results",
     "compare",
@@ -259,6 +266,95 @@ def check(
         update_baseline=update_baseline,
         select=select,
         json_path=json_path,
+    )
+
+
+def profile(
+    scenario: str,
+    *,
+    tasks: Optional[int] = None,
+    metatasks: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    cprofile: bool = False,
+    top: int = 20,
+    json_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+):
+    """Profile one scenario campaign and return its
+    :class:`~repro.obs.PerfReport`.
+
+    Runs ``scenario`` (any registry name) at a harness-controlled size —
+    ``tasks`` per metatask, ``metatasks`` × ``repetitions`` cells per
+    heuristic, both defaulting to one representative cell — under wall-clock
+    phase timers (setup / workload-gen / simulate / aggregate / report) and
+    collects the hot-path counters of every run (fluid queue and network
+    events, agent traffic, HTM activity).  ``cprofile=True`` additionally
+    wraps the simulate phase in :mod:`cProfile` and reports the ``top``
+    functions by cumulative time (forced off when ``jobs > 1``).
+    ``json_path`` writes the machine-readable ``perf-report.json`` (the CI
+    profile-smoke artifact).  Wall-clock numbers vary run to run; the
+    records underneath stay deterministic.  The shell form is
+    ``repro profile run``.
+    """
+    from .obs.profile import profile_scenario  # deferred: keeps `import repro.api` light
+
+    report = profile_scenario(
+        scenario,
+        tasks=tasks,
+        metatasks=metatasks,
+        repetitions=repetitions,
+        heuristics=heuristics,
+        seed=seed,
+        jobs=jobs,
+        profile=cprofile,
+        top=top,
+    )
+    if json_path is not None:
+        report.save_json(json_path)
+    return report
+
+
+def trace(
+    scenario: str,
+    out: Union[str, "os.PathLike[str]"],
+    *,
+    chrome_out: Optional[Union[str, "os.PathLike[str]"]] = None,
+    tasks: Optional[int] = None,
+    metatasks: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    limit: Optional[int] = None,
+):
+    """Trace one scenario campaign and write the virtual-time event files.
+
+    Runs ``scenario`` with the :mod:`repro.obs` trace bus enabled and writes
+    one JSONL line per event to ``out`` — task lifecycle, dispatch decisions
+    with per-candidate heuristic scores and report staleness, monitor
+    reports, fault windows, HTM predictions.  Timestamps are virtual
+    simulation seconds, so the file is a deterministic function of the
+    campaign plan: byte-identical at any ``jobs`` level.  ``chrome_out``
+    additionally writes the Chrome ``trace_event`` export (open in
+    ``chrome://tracing`` or ui.perfetto.dev); ``limit`` bounds the per-cell
+    event ring.  Returns the :class:`~repro.obs.profile.TraceRunResult`.
+    The shell form is ``repro profile trace``.
+    """
+    from .obs.profile import trace_scenario  # deferred: keeps `import repro.api` light
+
+    return trace_scenario(
+        scenario,
+        out=os.fspath(out),
+        chrome_out=None if chrome_out is None else os.fspath(chrome_out),
+        tasks=tasks,
+        metatasks=metatasks,
+        repetitions=repetitions,
+        heuristics=heuristics,
+        seed=seed,
+        jobs=jobs,
+        limit=limit,
     )
 
 

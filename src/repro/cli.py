@@ -48,6 +48,14 @@ no active finding)::
     repro check --list-rules
     repro check --update-baseline
 
+The profiling harness (:mod:`repro.obs`) wraps any registry scenario in
+wall-clock phase timers and fluid-core counters, or records a virtual-time
+event trace that opens in chrome://tracing / Perfetto::
+
+    repro profile run diurnal-week --tasks 5000
+    repro profile run diurnal-week --tasks 5000 --profile --json perf-report.json
+    repro profile trace diurnal-week --out trace.jsonl --chrome trace-chrome.json
+
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
 seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
@@ -80,6 +88,7 @@ __all__ = [
     "build_campaign_parser",
     "build_cache_parser",
     "build_validate_parser",
+    "build_profile_parser",
     "main",
 ]
 
@@ -320,6 +329,105 @@ def build_check_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_profile_size_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario", help="scenario name (see 'repro scenario list'), e.g. diurnal-week"
+    )
+    parser.add_argument(
+        "--tasks",
+        type=int,
+        metavar="N",
+        help="tasks per metatask (default: the smoke scale's task count)",
+    )
+    parser.add_argument(
+        "--metatasks", type=int, metavar="N", help="number of metatasks (default: 1)"
+    )
+    parser.add_argument(
+        "--reps", type=int, metavar="N", help="repetitions per metatask (default: 1)"
+    )
+    parser.add_argument(
+        "--heuristics",
+        metavar="A,B,...",
+        help="comma-separated subset of the scenario's heuristics "
+        "(default: all of them)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2003, help="root random seed (default: 2003)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1); counters and traces are "
+        "identical at any level",
+    )
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro profile`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile or trace one scenario campaign (see repro.obs): "
+        "'run' wraps it in wall-clock phase timers and hot-path counters, "
+        "'trace' records the virtual-time event trace.  Trace and counter "
+        "content derive from virtual time and cell coordinates only — "
+        "byte-identical at any --jobs level; wall-clock numbers appear "
+        "exclusively in the perf report.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run under phase timers + counters and print the perf report"
+    )
+    _add_profile_size_options(run_parser)
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally cProfile the simulate phase (forced off when "
+        "--jobs > 1: a parent-process profile of a worker pool would time "
+        "pickling, not simulation)",
+    )
+    run_parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="functions kept from the cProfile ranking (default: 20)",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="additionally write the perf-report/v1 JSON to FILE "
+        "(the CI artifact)",
+    )
+
+    trace_parser = commands.add_parser(
+        "trace", help="run with the trace bus on and write the JSONL trace"
+    )
+    _add_profile_size_options(trace_parser)
+    trace_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace.jsonl",
+        help="JSONL trace output path (default: trace.jsonl)",
+    )
+    trace_parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="additionally write the Chrome trace_event export (open in "
+        "chrome://tracing or ui.perfetto.dev)",
+    )
+    trace_parser.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="bound each cell's event ring to N events (default: unbounded); "
+        "truncation is surfaced, never silent",
+    )
+    return parser
+
+
 def build_results_parser() -> argparse.ArgumentParser:
     """Build the parser of the ``repro results`` subcommand family."""
     parser = argparse.ArgumentParser(
@@ -436,6 +544,10 @@ def _list_experiments() -> str:
         "<id> --store DIR', 'repro cache stats|ls|prune DIR'"
     )
     lines.append("analytical validation: 'repro validate [--quick] [--json FILE]'")
+    lines.append(
+        "profiling & tracing: 'repro profile run <scenario> [--tasks N]' / "
+        "'repro profile trace <scenario> --out trace.jsonl'"
+    )
     return "\n".join(lines)
 
 
@@ -625,6 +737,71 @@ def _check_main(argv: List[str]) -> int:
     return report.exit_code
 
 
+def _profile_main(argv: List[str]) -> int:
+    from .errors import ReproError
+    from .obs.profile import profile_scenario, trace_scenario
+
+    parser = build_profile_parser()
+    args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    heuristics = None
+    if args.heuristics:
+        heuristics = [name.strip() for name in args.heuristics.split(",") if name.strip()]
+    if args.command == "run":
+        try:
+            report = profile_scenario(
+                args.scenario,
+                tasks=args.tasks,
+                metatasks=args.metatasks,
+                repetitions=args.reps,
+                heuristics=heuristics,
+                seed=args.seed,
+                jobs=args.jobs,
+                profile=args.profile,
+                top=args.top,
+            )
+        except ReproError as exc:
+            parser.error(str(exc))
+        # Write the artifact before rendering: a closed stdout (``| head``)
+        # must not lose the machine-readable report.
+        if args.json:
+            try:
+                report.save_json(args.json)
+            except OSError as exc:
+                parser.error(f"could not write {args.json!r}: {exc}")
+        print(report.render())
+        if args.profile and args.jobs > 1:
+            print("note: --profile is forced off at --jobs > 1", file=sys.stderr)
+        if args.json:
+            print(f"wrote {args.json}", file=sys.stderr)
+        return 0
+
+    # trace
+    if args.limit is not None and args.limit < 1:
+        parser.error("--limit must be >= 1")
+    try:
+        result = trace_scenario(
+            args.scenario,
+            out=args.out,
+            chrome_out=args.chrome,
+            tasks=args.tasks,
+            metatasks=args.metatasks,
+            repetitions=args.reps,
+            heuristics=heuristics,
+            seed=args.seed,
+            jobs=args.jobs,
+            limit=args.limit,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    except OSError as exc:
+        parser.error(f"could not write trace: {exc}")
+    print(result.render())
+    return 0
+
+
 def _results_main(argv: List[str]) -> int:
     from . import api
     from .errors import ResultsError
@@ -677,6 +854,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _validate_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

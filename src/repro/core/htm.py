@@ -59,6 +59,9 @@ class ServerTrace:
         default=None, repr=False, compare=False
     )
     _cache_version: int = field(default=-1, repr=False, compare=False)
+    #: Baseline-cache behaviour counters (see :mod:`repro.obs.counters`).
+    cache_hits: int = field(default=0, repr=False, compare=False)
+    cache_misses: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.network is None:
@@ -86,6 +89,9 @@ class ServerTrace:
         if self._cached_completions is None or self._cache_version != self.network.version:
             self._cached_completions = dict(self.network.copy().run_to_completion())
             self._cache_version = self.network.version
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
         # Read-only view: a caller mutating the baseline would otherwise
         # corrupt every later incremental prediction until the next
         # structural mutation.
@@ -158,6 +164,12 @@ class HistoricalTraceManager:
         self.incremental_predictions = incremental_predictions
         self._traces: Dict[str, ServerTrace] = {}
         self._placements: Dict[str, str] = {}  # task_id -> server name
+        # Observability (see repro.obs): plain-int operation counters, and an
+        # optional trace bus the middleware wires in.  ``tracer is None`` is
+        # the zero-overhead-when-off guard on the hooks below.
+        self.n_predicts = 0
+        self.n_commits = 0
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -234,6 +246,16 @@ class HistoricalTraceManager:
             for task_id in completions_without
             if task_id in completions_with
         }
+        self.n_predicts += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "htm.predict",
+                server=server,
+                task=task.task_id,
+                completion=new_completion,
+                tracked=len(unfinished),
+            )
         return HtmPrediction(
             server=server,
             task_id=task.task_id,
@@ -267,6 +289,7 @@ class HistoricalTraceManager:
         trace.tasks[task.task_id] = record
         trace.network.add_task(task.task_id, arrival=now, stages=self._stages_for(trace, task), now=now)
         self._placements[task.task_id] = server
+        self.n_commits += 1
         return record
 
     # ------------------------------------------------------------------ #

@@ -44,6 +44,7 @@ from ..core.heuristics import Heuristic, create_heuristic
 from ..errors import ExperimentError, StoreError
 from ..metrics.comparison import compare_completion_maps, completion_map
 from ..metrics.flow import summarize
+from ..obs import CellTrace, TraceEvent, Tracer
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
 from ..results import (
@@ -130,6 +131,12 @@ class CellWork:
     middleware_config: MiddlewareConfig
     catalogue: ProblemCatalogue
     heuristic_factory: Optional[Heuristic] = None
+    #: Attach a :class:`repro.obs.Tracer` to the cell's middleware.  The
+    #: trace derives from virtual time and the cell's coordinate seed only,
+    #: so traced campaigns stay byte-identical at any ``--jobs`` level.
+    trace: bool = False
+    #: Per-cell event-ring bound (``None`` = unbounded).
+    trace_limit: Optional[int] = None
 
 
 def plan_cells(
@@ -180,6 +187,7 @@ def execute_cell(work: CellWork) -> RunResult:
         heuristic=heuristic,
         catalogue=work.catalogue,
         config=work.middleware_config,
+        tracer=Tracer(limit=work.trace_limit) if work.trace else None,
     )
     return middleware.run(work.metatask)
 
@@ -328,6 +336,17 @@ def _accepts_cached(observer: CampaignObserver) -> bool:
     return _accepts_keyword(observer.on_cell_complete, "cached")
 
 
+def _accepts_run(observer: CampaignObserver) -> bool:
+    """Whether an observer's ``on_cell_complete`` takes the live ``run``.
+
+    Counter-harvesting observers (:class:`repro.obs.PerfReportObserver`)
+    declare the keyword and receive each freshly executed
+    :class:`~repro.platform.middleware.RunResult` (``None`` for cells
+    recovered from the store); everyone else is called without it.
+    """
+    return _accepts_keyword(observer.on_cell_complete, "run")
+
+
 class _CampaignAssembler:
     """Streams executed runs *and* cached entries into records and observers.
 
@@ -350,6 +369,7 @@ class _CampaignAssembler:
         observers: Sequence[CampaignObserver],
         store: Optional[CampaignStore] = None,
         cell_keys: Optional[Sequence] = None,
+        trace: bool = False,
     ):
         from .runner import HeuristicOutcome  # circular-import guard
 
@@ -360,7 +380,12 @@ class _CampaignAssembler:
         self.config = config
         self.observers = list(observers)
         self._observer_takes_cached = [_accepts_cached(o) for o in self.observers]
+        self._observer_takes_run = [_accepts_run(o) for o in self.observers]
         self.store = store
+        self.trace = trace
+        #: One :class:`repro.obs.CellTrace` per cell, planned order (filled
+        #: as cells are processed; stays all-``None`` when tracing is off).
+        self.traces: List[Optional[CellTrace]] = [None] * len(cells)
         self.cell_keys = cell_keys
         self.config_hash = config_fingerprint(config)
         self.result_set = ResultSet()
@@ -437,8 +462,20 @@ class _CampaignAssembler:
             self.store.put(
                 CellEntry(key=self.cell_keys[index], record=record, completions=completions)
             )
+        if self.trace:
+            events = list(run.trace_events)
+            if self.store is not None:
+                # Store attached and the cell still executed: a cache miss.
+                events.insert(0, TraceEvent(0.0, "store.miss"))
+            self.traces[index] = CellTrace(
+                heuristic=cell.heuristic,
+                metatask_index=cell.metatask_index,
+                repetition=cell.repetition,
+                events=tuple(events),
+                dropped=run.trace_dropped,
+            )
         self.executed += 1
-        self._emit(index, record, cached=False)
+        self._emit(index, record, cached=False, run=run)
 
     def _process_cached(self, index: int, entry: CellEntry) -> None:
         cell = self.cells[index]
@@ -450,16 +487,35 @@ class _CampaignAssembler:
                     "entry is damaged — prune it and re-run"
                 )
             self.reference_completions[cell.key] = dict(entry.completions)
+        if self.trace:
+            # A recovered cell never re-simulates, so its trace is the single
+            # marker event — the trace stays an honest account of this run.
+            self.traces[index] = CellTrace(
+                heuristic=cell.heuristic,
+                metatask_index=cell.metatask_index,
+                repetition=cell.repetition,
+                events=(TraceEvent(0.0, "store.hit"),),
+            )
         self.recovered += 1
         self._emit(index, entry.record, cached=True)
 
-    def _emit(self, index: int, record: RunRecord, cached: bool) -> None:
+    def _emit(
+        self,
+        index: int,
+        record: RunRecord,
+        cached: bool,
+        run: Optional[RunResult] = None,
+    ) -> None:
         self.result_set.append(record)
-        for observer, takes_cached in zip(self.observers, self._observer_takes_cached):
+        for observer, takes_cached, takes_run in zip(
+            self.observers, self._observer_takes_cached, self._observer_takes_run
+        ):
+            kwargs = {}
             if takes_cached:
-                observer.on_cell_complete(index, len(self.cells), record, cached=cached)
-            else:
-                observer.on_cell_complete(index, len(self.cells), record)
+                kwargs["cached"] = cached
+            if takes_run:
+                kwargs["run"] = run
+            observer.on_cell_complete(index, len(self.cells), record, **kwargs)
 
 
 def _resolve_repetitions(
@@ -539,6 +595,8 @@ def _run_round(
     observers: Sequence[CampaignObserver],
     store: Optional[CampaignStore],
     rep_range: Optional[range] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
 ) -> Tuple[_CampaignAssembler, List[RunCell]]:
     """Plan, execute and assemble one round of repetitions.
 
@@ -557,6 +615,8 @@ def _run_round(
             middleware_config=config.middleware_for(cell.heuristic, cell.seed_offset),
             catalogue=catalogue,
             heuristic_factory=(heuristic_factories or {}).get(cell.heuristic),
+            trace=trace,
+            trace_limit=trace_limit,
         )
         for cell in cells
     ]
@@ -606,7 +666,7 @@ def _run_round(
 
     assembler = _CampaignAssembler(
         experiment_id, cells, work_items, config, observers,
-        store=store, cell_keys=cell_keys,
+        store=store, cell_keys=cell_keys, trace=trace,
     )
     for observer in observers:
         observer.on_campaign_start(experiment_id, len(cells))
@@ -655,6 +715,8 @@ def run_campaign(
     store: Optional[Union[CampaignStore, str]] = None,
     reps: Optional[Union[int, str]] = None,
     ci_target: Optional[float] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
 ):
     """Run a full table campaign and assemble its :class:`TableResult`.
 
@@ -676,6 +738,15 @@ def run_campaign(
     the assembled records and seeds derive from cell coordinates, so a
     sequential campaign is byte-identical at any ``jobs`` level and across
     store-warm resumes — exactly like fixed mode.
+
+    ``trace=True`` attaches a :class:`repro.obs.Tracer` to every executed
+    cell's middleware and returns the per-cell traces on ``table.traces``
+    (planned order, one :class:`repro.obs.CellTrace` per cell).  Trace
+    events carry *virtual* time only and derive from cell coordinates, so a
+    traced campaign — records **and** trace — is byte-identical at any
+    ``jobs`` level; ``trace_limit`` bounds each cell's event ring.  With a
+    store attached, recovered cells contribute a single ``store.hit`` marker
+    (they never re-simulate) and executed ones are prefixed ``store.miss``.
 
     ``store`` (or ``config.store``) attaches a
     :class:`~repro.store.CampaignStore`: the plan is diffed against the
@@ -712,6 +783,7 @@ def run_campaign(
             _run_round(
                 experiment_id, platform, metatasks, config, catalogue,
                 heuristic_factories, executor, all_observers, store,
+                trace=trace, trace_limit=trace_limit,
             )
         )
         total_reps = config.scale.repetitions
@@ -724,6 +796,7 @@ def run_campaign(
                     experiment_id, platform, metatasks, config, catalogue,
                     heuristic_factories, executor, all_observers, store,
                     rep_range=range(start, total_reps),
+                    trace=trace, trace_limit=trace_limit,
                 )
             )
             groups = _metric_groups([a for a, _ in rounds], rule.metric)
@@ -830,4 +903,12 @@ def run_campaign(
     table = result_set.pivot()
     table.outcomes = outcomes
     table.cache_info = {"recovered": recovered, "executed": executed}
+    # Per-cell virtual-time traces, rounds concatenated in planned order
+    # (empty unless ``trace=True``) — like ``outcomes``, a rich ride-along
+    # that never influences the pivot itself.
+    table.traces = (
+        [cell_trace for assembler, _ in rounds for cell_trace in assembler.traces]
+        if trace
+        else []
+    )
     return table

@@ -1,0 +1,60 @@
+"""Observability: virtual-time tracing, hot-path counters, profiling.
+
+The telemetry layer of the reproduction (see README "Observability &
+profiling"):
+
+* :mod:`repro.obs.trace` — the structured trace bus: zero-overhead-when-off
+  :class:`Tracer` hooks in the middleware, agent and HTM emit virtual-time
+  :class:`TraceEvent` records; campaign traces serialise to deterministic
+  JSONL, byte-identical at any ``--jobs`` level;
+* :mod:`repro.obs.chrome` — Chrome ``trace_event`` export (opens in
+  ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.counters` — rollups of the fluid core's and HTM's plain-int
+  hot-path counters (heap pushes, lazy deletions, cache hits, ...);
+* :mod:`repro.obs.report` — the per-campaign :class:`PerfReport`
+  (``perf-report.json``) fed by :class:`PerfReportObserver` on the campaign
+  observer chain;
+* :mod:`repro.obs.wallclock` — the *single* sanctioned home for wall-clock
+  reads in the package (the DET-CLOCK lint rule exempts ``repro/obs/`` and
+  nothing else);
+* :mod:`repro.obs.profile` — the ``repro profile run|trace`` harness.  It
+  sits on top of the scenario/campaign layers, so import it explicitly
+  (``from repro.obs import profile``) — it is intentionally not re-exported
+  here to keep ``import repro.platform`` (which imports this package) free
+  of an import cycle.
+
+Determinism contract: trace events and counters derive from virtual time and
+simulation state only and never enter records, fingerprints or golden
+tables; wall-clock values live exclusively in the perf report.
+"""
+
+from .wallclock import PhaseTimer, perf_counter
+from .trace import (
+    CellTrace,
+    TraceEvent,
+    Tracer,
+    event_line,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from .counters import merge_counters, middleware_counters, network_counters
+from .chrome import chrome_trace, write_chrome_trace
+from .report import PerfReport, PerfReportObserver
+
+__all__ = [
+    "PhaseTimer",
+    "perf_counter",
+    "TraceEvent",
+    "Tracer",
+    "CellTrace",
+    "event_line",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "merge_counters",
+    "middleware_counters",
+    "network_counters",
+    "chrome_trace",
+    "write_chrome_trace",
+    "PerfReport",
+    "PerfReportObserver",
+]

@@ -1,0 +1,105 @@
+"""Chrome ``trace_event`` exporter.
+
+Converts a campaign trace (a sequence of :class:`~repro.obs.trace.CellTrace`
+records) into the Chrome Trace Event JSON format, so a run opens directly in
+``chrome://tracing`` or https://ui.perfetto.dev:
+
+* each campaign **cell** becomes one *process* (pid), labelled with its
+  coordinates (``"mct m0 rep0"``) through a ``process_name`` metadata event;
+* within a cell, events land on one *thread* (tid) per actor — the server
+  named in the event's payload, or the ``agent`` lane for dispatch/monitor/
+  HTM traffic — labelled through ``thread_name`` metadata events;
+* every trace event becomes an instant event (``"ph": "i"``) at
+  ``ts = virtual seconds x 1e6`` (the format counts microseconds) with the
+  full payload under ``args``.
+
+The export is a pure function of the trace: pids are cell positions in
+planned order, tids are assigned over the sorted set of actor names, so the
+JSON is byte-identical whenever the trace is — the schema golden test pins
+exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .trace import CellTrace, TraceEvent
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: Payload keys that name the actor an event belongs to, in priority order.
+_ACTOR_KEYS = ("server",)
+
+#: The lane for events not tied to one server (dispatch decisions, monitor
+#: deliveries carry a server field and land on that server's lane instead).
+_AGENT_LANE = "agent"
+
+
+def _actor(event: TraceEvent) -> str:
+    data = dict(event.data)
+    for key in _ACTOR_KEYS:
+        value = data.get(key)
+        if isinstance(value, str) and value:
+            return value
+    return _AGENT_LANE
+
+
+def chrome_trace(cell_traces: Sequence[CellTrace]) -> Dict[str, object]:
+    """Build the Chrome Trace Event JSON object for a campaign trace."""
+    trace_events: List[Dict[str, object]] = []
+    for pid, cell in enumerate(cell_traces, start=1):
+        actors = sorted({_actor(event) for event in cell.events} | {_AGENT_LANE})
+        tids = {name: tid for tid, name in enumerate(actors, start=1)}
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": f"{cell.heuristic} m{cell.metatask_index} "
+                    f"rep{cell.repetition}"
+                },
+            }
+        )
+        for name, tid in sorted(tids.items(), key=lambda item: item[1]):
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        for event in cell.events:
+            trace_events.append(
+                {
+                    "name": event.kind,
+                    "cat": event.kind.split(".", 1)[0],
+                    "ph": "i",
+                    "s": "t",  # instant scoped to its thread lane
+                    "ts": event.t * 1e6,
+                    "pid": pid,
+                    "tid": tids[_actor(event)],
+                    "args": dict(event.data),
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual",
+            "note": "ts is simulated time in microseconds, not wall time",
+        },
+    }
+
+
+def write_chrome_trace(path: str, cell_traces: Sequence[CellTrace]) -> int:
+    """Write the Chrome trace JSON for ``cell_traces``; returns the event count."""
+    document = chrome_trace(cell_traces)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        json.dump(document, handle, separators=(",", ":"), allow_nan=False)
+        handle.write("\n")
+    return len(document["traceEvents"])

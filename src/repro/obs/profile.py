@@ -1,0 +1,276 @@
+"""The profiling harness: ``repro profile run|trace``.
+
+Wraps any registry scenario in wall-clock phase timers (and optionally
+``cProfile``) at a configurable size, producing the :class:`PerfReport`
+behind ``perf-report.json`` — the artifact that anchors every optimisation
+claim on the road to million-task runs.  ``trace_scenario`` runs the same
+campaign with the virtual-time trace bus enabled and writes the JSONL trace
+plus its Chrome ``trace_event`` export.
+
+The harness is the *only* place wall time and simulation meet, and it keeps
+them apart by construction: phases are timed around the campaign from the
+outside, the trace inside carries virtual time only.  A traced run's records
+and trace bytes are identical at any ``--jobs`` level; only the numbers in
+the perf report (wall seconds, tasks/s) vary run to run.
+
+This module imports the scenario and campaign layers, so it is *not*
+re-exported from ``repro.obs`` eagerly — import it as ``repro.obs.profile``
+(the :mod:`repro.api` facade and the CLI defer-import it the same way the
+validation suite is).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .report import PerfReport, PerfReportObserver
+from .trace import CellTrace, write_trace_jsonl
+from .chrome import write_chrome_trace
+from .wallclock import PhaseTimer
+
+__all__ = ["profile_scenario", "trace_scenario", "TraceRunResult"]
+
+
+def _campaign_pieces(
+    name: str,
+    tasks: Optional[int],
+    metatasks: Optional[int],
+    repetitions: Optional[int],
+    heuristics: Optional[Sequence[str]],
+    seed: int,
+    jobs: int,
+):
+    """Materialise one scenario at the harness's (possibly overridden) size."""
+    # Deferred: this is the heavy end of the import graph (scenarios ->
+    # campaign -> platform), and the platform layer imports repro.obs.
+    from ..experiments.config import ExperimentConfig, SMOKE_SCALE
+    from ..scenarios.scenario import (
+        build_scenario_metatasks,
+        get_scenario,
+        scenario_config,
+    )
+
+    scenario = get_scenario(name)
+    scale = SMOKE_SCALE
+    scale = replace(
+        scale,
+        name="profile",
+        task_count=int(tasks) if tasks is not None else scale.task_count,
+        metatask_count=int(metatasks) if metatasks is not None else 1,
+        repetitions=int(repetitions) if repetitions is not None else 1,
+    )
+    if scale.task_count < 1 or scale.metatask_count < 1 or scale.repetitions < 1:
+        raise ExperimentError("tasks, metatasks and repetitions must be >= 1")
+    config = ExperimentConfig(scale=scale, seed=seed, jobs=jobs)
+    effective = scenario_config(scenario, config)
+    if heuristics:
+        unknown = [h for h in heuristics if h not in scenario.heuristics]
+        if unknown:
+            raise ExperimentError(
+                f"heuristics {unknown} are not part of scenario {name!r} "
+                f"(has {list(scenario.heuristics)})"
+            )
+        reference = (
+            scenario.reference
+            if scenario.reference in heuristics
+            else list(heuristics)[0]
+        )
+        effective = replace(
+            effective, heuristics=tuple(heuristics), reference=reference
+        )
+    return scenario, effective
+
+
+def _profile_top(profiler: cProfile.Profile, top: int) -> List[Dict[str, object]]:
+    """Top-``top`` functions by cumulative time, deterministically ordered."""
+    stats = pstats.Stats(profiler)
+    entries = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, line, name = func
+        entries.append(
+            {
+                "func": f"{filename}:{line}({name})",
+                "ncalls": int(nc),
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    entries.sort(key=lambda e: (-e["cumtime_s"], e["func"]))
+    return entries[:top]
+
+
+def profile_scenario(
+    name: str,
+    *,
+    tasks: Optional[int] = None,
+    metatasks: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    profile: bool = False,
+    top: int = 20,
+) -> PerfReport:
+    """Run one scenario under phase timers and return its :class:`PerfReport`.
+
+    ``tasks`` overrides the per-metatask task count (the knob behind
+    ``repro profile run <scenario> --tasks N``); ``metatasks`` and
+    ``repetitions`` default to 1 so the harness profiles one representative
+    cell per heuristic.  ``profile=True`` additionally wraps the simulate
+    phase in ``cProfile`` (forced off when ``jobs > 1`` — a parent-process
+    profile of a worker pool would time pickling, not simulation).
+    """
+    from ..experiments.campaign import run_campaign
+
+    timer = PhaseTimer()
+    with timer.phase("setup"):
+        scenario, effective = _campaign_pieces(
+            name, tasks, metatasks, repetitions, heuristics, seed, jobs
+        )
+        platform = scenario.platform_factory()
+    with timer.phase("workload-gen"):
+        from ..scenarios.scenario import build_scenario_metatasks
+
+        workload = build_scenario_metatasks(scenario, effective)
+
+    observer = PerfReportObserver()
+    profiler: Optional[cProfile.Profile] = None
+    if profile and jobs <= 1:
+        profiler = cProfile.Profile()
+    with timer.phase("simulate"):
+        if profiler is not None:
+            profiler.enable()
+        try:
+            table = run_campaign(
+                experiment_id=f"scenario-{scenario.name}",
+                title=f"profile {scenario.name}",
+                platform=platform,
+                metatasks=workload,
+                config=effective,
+                jobs=jobs,
+                observers=[observer],
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    with timer.phase("aggregate"):
+        # Re-derive the table from the records: the same pivot/render work the
+        # campaign does, measured in isolation.
+        table.result_set.pivot().render()
+    with timer.phase("report"):
+        counters = observer.counters()
+        profile_top = _profile_top(profiler, top) if profiler is not None else []
+
+    return PerfReport(
+        scenario=scenario.name,
+        experiment_id=f"scenario-{scenario.name}",
+        scale={
+            "tasks_per_metatask": effective.scale.task_count,
+            "metatasks": effective.scale.metatask_count,
+            "repetitions": effective.scale.repetitions,
+            "heuristics": list(effective.heuristics),
+            "seed": seed,
+        },
+        phases=timer.items(),
+        counters=counters,
+        cells_total=observer.cells_total,
+        cells_counted=observer.cells_counted,
+        cells_cached=observer.cells_cached,
+        truncated_cells=observer.truncated_cells,
+        tasks_simulated=observer.tasks_simulated,
+        per_cell=observer.per_cell,
+        profile_top=profile_top,
+        jobs=jobs,
+    )
+
+
+@dataclass
+class TraceRunResult:
+    """What a ``repro profile trace`` run produced."""
+
+    scenario: str
+    trace_path: str
+    chrome_path: Optional[str]
+    cells: int
+    events: int
+    lines: int
+    dropped: int
+
+    def render(self) -> str:
+        parts = [
+            f"trace: {self.scenario} — {self.events} event(s) from "
+            f"{self.cells} cell(s)",
+            f"  jsonl:  {self.trace_path} ({self.lines} lines)",
+        ]
+        if self.chrome_path:
+            parts.append(
+                f"  chrome: {self.chrome_path} (open in chrome://tracing or "
+                "ui.perfetto.dev)"
+            )
+        if self.dropped:
+            parts.append(
+                f"  WARNING: ring limit dropped {self.dropped} event(s); "
+                "raise --limit for a complete trace"
+            )
+        return "\n".join(parts)
+
+
+def trace_scenario(
+    name: str,
+    *,
+    out: str,
+    chrome_out: Optional[str] = None,
+    tasks: Optional[int] = None,
+    metatasks: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    limit: Optional[int] = None,
+) -> TraceRunResult:
+    """Run one scenario with the trace bus on and write the trace files.
+
+    The JSONL trace at ``out`` is a deterministic function of the campaign
+    plan: byte-identical at any ``jobs`` level.  ``chrome_out`` additionally
+    writes the Chrome ``trace_event`` export.  ``limit`` bounds the per-cell
+    event ring (``None`` keeps everything).
+    """
+    from ..experiments.campaign import run_campaign
+
+    scenario, effective = _campaign_pieces(
+        name, tasks, metatasks, repetitions, heuristics, seed, jobs
+    )
+    from ..scenarios.scenario import build_scenario_metatasks
+
+    workload = build_scenario_metatasks(scenario, effective)
+    table = run_campaign(
+        experiment_id=f"scenario-{scenario.name}",
+        title=f"trace {scenario.name}",
+        platform=scenario.platform_factory(),
+        metatasks=workload,
+        config=effective,
+        jobs=jobs,
+        trace=True,
+        trace_limit=limit,
+    )
+    traces: List[CellTrace] = list(table.traces)
+    lines = write_trace_jsonl(out, traces)
+    events = sum(len(cell.events) for cell in traces)
+    dropped = sum(cell.dropped for cell in traces)
+    chrome_path = None
+    if chrome_out:
+        write_chrome_trace(chrome_out, traces)
+        chrome_path = chrome_out
+    return TraceRunResult(
+        scenario=scenario.name,
+        trace_path=out,
+        chrome_path=chrome_path,
+        cells=len(traces),
+        events=events,
+        lines=lines,
+        dropped=dropped,
+    )

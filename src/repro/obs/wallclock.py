@@ -1,0 +1,81 @@
+"""The single sanctioned home for wall-clock reads.
+
+The DET-CLOCK lint rule (:mod:`repro.analysis.determinism`) bans host-clock
+reads everywhere in the ``repro`` package *except* this ``repro/obs/``
+subtree: host timestamps differ on every run, so one leaking into a record,
+a fingerprint or a journaled cell silently breaks the byte-identity
+guarantee.  Observability code is the one place that legitimately measures
+wall time — phase timers, throughput lines, profiling reports — and routing
+every such read through this module keeps the exemption auditable: anything
+else that wants the host clock must import it from here (and the import is
+visible in the lint report's dotted-name resolution).
+
+Everything measured through this module is **report-only** by contract: wall
+times may appear in ``perf-report.json`` and on progress lines, never in
+:class:`~repro.results.RunRecord` metrics, trace events or fingerprints.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Tuple
+from contextlib import contextmanager
+
+__all__ = ["perf_counter", "PhaseTimer"]
+
+
+def perf_counter() -> float:
+    """Monotonic wall-clock reading in seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+class PhaseTimer:
+    """Named wall-clock phase accumulator for profiling reports.
+
+    Phases are accumulated (entering the same name twice adds up) and
+    reported in first-entry order::
+
+        timer = PhaseTimer()
+        with timer.phase("workload-gen"):
+            ...
+        with timer.phase("simulate"):
+            ...
+        timer.as_dict()   # {"workload-gen": 0.12, "simulate": 3.45}
+    """
+
+    def __init__(self) -> None:
+        self._order: List[str] = []
+        self._elapsed: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one named phase (context manager; re-entrant by name)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            if name not in self._elapsed:
+                self._order.append(name)
+                self._elapsed[name] = 0.0
+            self._elapsed[name] += elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum of every phase's accumulated wall time."""
+        return sum(self._elapsed.values())
+
+    def items(self) -> List[Tuple[str, float]]:
+        """``(name, seconds)`` pairs in first-entry order."""
+        return [(name, self._elapsed[name]) for name in self._order]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase durations keyed by name, in first-entry order."""
+        return dict(self.items())
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={secs:.3f}s" for name, secs in self.items())
+        return f"<PhaseTimer {inner}>"

@@ -18,6 +18,7 @@ schedules client requests on servers that are able to execute them"
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -64,6 +65,19 @@ class AgentStats:
     completion_messages: int = 0
     failure_messages: int = 0
     reports_received: int = 0
+    #: Reports received with ``is_up=False`` (the agent *does* apply them —
+    #: this makes the down-notification traffic visible per run).
+    reports_down_received: int = 0
+    #: Reports for servers absent from the registration table.  They carry no
+    #: usable state and are discarded — counted here instead of silently.
+    reports_dropped: int = 0
+    #: Dispatch decisions split by whether the chosen server had ever sent a
+    #: load report, plus the staleness (now - emitted_at) of the report the
+    #: decision relied on.  Feeds ``RunResult.monitor_summary``.
+    dispatches_with_report: int = 0
+    dispatches_without_report: int = 0
+    staleness_sum: float = 0.0
+    staleness_max: float = 0.0
     decisions_per_server: Dict[str, int] = field(default_factory=dict)
 
 
@@ -97,6 +111,9 @@ class Agent:
         self.stats = AgentStats()
         #: Trace of every decision: ``(time, task_id, server, Decision)``.
         self.decision_log: List[Tuple[float, str, str, Decision]] = []
+        #: Optional :class:`repro.obs.Tracer` the middleware wires in.
+        #: ``tracer is None`` is the zero-overhead-when-off guard.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -131,11 +148,33 @@ class Agent:
         """A monitor report reached the agent."""
         registration = self._registry.get(report.server)
         if registration is None:
+            # No registration record to update: the report is discarded, but
+            # visibly (counter + trace event), never silently.
+            self.stats.reports_dropped += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    report.received_at,
+                    "monitor.report",
+                    server=report.server,
+                    dropped=True,
+                )
             return
         registration.last_report = report
         registration.pending_correction = 0
         registration.believed_up = report.is_up
         self.stats.reports_received += 1
+        if not report.is_up:
+            self.stats.reports_down_received += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                report.received_at,
+                "monitor.report",
+                server=report.server,
+                load=report.load,
+                resident=report.resident_tasks,
+                is_up=report.is_up,
+                latency=report.received_at - report.emitted_at,
+            )
 
     def notify_completion(self, task: Task, server_name: str, at: float) -> None:
         """A server notified the agent that a task finished (mechanism #2)."""
@@ -217,6 +256,35 @@ class Agent:
         self.stats.decisions_per_server[decision.server] = (
             self.stats.decisions_per_server.get(decision.server, 0) + 1
         )
+        report = registration.last_report
+        if report is not None:
+            staleness = context.now - report.emitted_at
+            self.stats.dispatches_with_report += 1
+            self.stats.staleness_sum += staleness
+            if staleness > self.stats.staleness_max:
+                self.stats.staleness_max = staleness
+        else:
+            staleness = None
+            self.stats.dispatches_without_report += 1
+        if self.tracer is not None:
+            estimated = decision.estimated_completion
+            if estimated is not None and not math.isfinite(estimated):
+                estimated = None
+            self.tracer.emit(
+                context.now,
+                "task.dispatch",
+                task=task.task_id,
+                server=decision.server,
+                heuristic=self.heuristic.name,
+                estimated=estimated,
+                staleness=staleness,
+                # Per-candidate heuristic scores, keys sorted, non-finite
+                # entries nulled so the JSONL stays allow_nan=False clean.
+                scores={
+                    name: (value if math.isfinite(value) else None)
+                    for name, value in sorted(decision.scores.items())
+                },
+            )
         self.decision_log.append((context.now, task.task_id, decision.server, decision))
         return decision
 

@@ -15,11 +15,12 @@ experiments — see DESIGN.md §2 for the substitution rationale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.heuristics import Heuristic, create_heuristic
 from ..core.htm import HistoricalTraceManager
 from ..errors import NoCandidateServer, PlatformError, TaskRejected
+from ..obs import TraceEvent, Tracer, middleware_counters
 from ..simulation import Environment, RandomStreams
 from ..workload.metatask import Metatask
 from ..workload.problems import ProblemCatalogue, PAPER_CATALOGUE
@@ -104,6 +105,17 @@ class RunResult:
     #: so truncated runs are never *silently* mixed into the column means —
     #: check this flag to exclude them outright.
     truncated: bool = False
+    #: Hot-path work counters harvested after the run (see
+    #: :func:`repro.obs.counters.middleware_counters`).  Deterministic per
+    #: cell, but an implementation measure: excluded from records/fingerprints.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Report-bus health: counts plus staleness-at-dispatch of the load
+    #: report each mapping decision relied on (virtual seconds).
+    monitor_summary: Dict[str, float] = field(default_factory=dict)
+    #: Virtual-time trace of the run (empty unless a tracer was attached).
+    trace_events: Tuple[TraceEvent, ...] = ()
+    #: Events the tracer's bounded ring had to drop (0 = complete trace).
+    trace_dropped: int = 0
 
     @property
     def completed_tasks(self) -> List[Task]:
@@ -162,6 +174,7 @@ class GridMiddleware:
         catalogue: ProblemCatalogue = PAPER_CATALOGUE,
         config: Optional[MiddlewareConfig] = None,
         server_problems: Optional[Mapping[str, Iterable[str]]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.platform = platform
         self.catalogue = catalogue
@@ -183,6 +196,12 @@ class GridMiddleware:
                 incremental_predictions=self.config.htm_incremental,
             )
         self.agent = Agent(self.env, self.heuristic, htm=htm)
+        # The trace bus (repro.obs).  ``tracer is None`` keeps every hook a
+        # single attribute test — the zero-overhead-when-off contract.
+        self.tracer = tracer
+        self.agent.tracer = tracer
+        if self.agent.htm is not None:
+            self.agent.htm.tracer = tracer
         self.fault_policy = self.config.fault_policy_for(self.heuristic.name)
 
         memory_model = self.config.effective_memory_model()
@@ -254,24 +273,49 @@ class GridMiddleware:
         unknown_kinds = [w for w in ordered if not isinstance(w, (SlowdownWindow, OutageWindow))]
         if unknown_kinds:  # pragma: no cover - defensive
             raise PlatformError(f"unknown fault window type {type(unknown_kinds[0])!r}")
+        tracer = self.tracer
         for window in slowdowns:
             server = self.servers[window.server]
             start = self.env.timeout(window.start_s)
             start.callbacks.append(
                 lambda _evt, s=server, f=window.factor: s.set_slowdown(f)
             )
+            if tracer is not None:
+                start.callbacks.append(
+                    lambda _evt, t=window.start_s, n=window.server, f=window.factor: tracer.emit(
+                        t, "fault.slowdown.begin", server=n, factor=f
+                    )
+                )
             end = self.env.timeout(window.end_s)
             end.callbacks.append(lambda _evt, s=server: s.set_slowdown(1.0))
+            if tracer is not None:
+                end.callbacks.append(
+                    lambda _evt, t=window.end_s, n=window.server: tracer.emit(
+                        t, "fault.slowdown.end", server=n
+                    )
+                )
         for window in outages:
             start = self.env.timeout(window.start_s)
             start.callbacks.append(
                 lambda _evt, s=self.servers[window.server]: s.begin_outage()
             )
+            if tracer is not None:
+                start.callbacks.append(
+                    lambda _evt, t=window.start_s, n=window.server: tracer.emit(
+                        t, "fault.outage.begin", server=n
+                    )
+                )
         for window in outages:
             end = self.env.timeout(window.end_s)
             end.callbacks.append(
                 lambda _evt, s=self.servers[window.server]: s.end_outage()
             )
+            if tracer is not None:
+                end.callbacks.append(
+                    lambda _evt, t=window.end_s, n=window.server: tracer.emit(
+                        t, "fault.outage.end", server=n
+                    )
+                )
 
     # ------------------------------------------------------------------ #
     # setup helpers
@@ -290,6 +334,13 @@ class GridMiddleware:
     def submit(self, task: Task) -> None:
         """Entry point used by clients: schedule and dispatch one task."""
         task.status = TaskStatus.SUBMITTED
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now,
+                "task.submit",
+                task=task.task_id,
+                problem=task.problem.name,
+            )
         self._dispatch(task)
 
     def _dispatch(self, task: Task) -> None:
@@ -298,6 +349,10 @@ class GridMiddleware:
             decision = self.agent.schedule(task)
         except NoCandidateServer:
             task.mark_failed(now, "no candidate server")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "task.reject", task=task.task_id, reason="no candidate server"
+                )
             self._task_terminal(task)
             return
         server = self.servers[decision.server]
@@ -306,21 +361,41 @@ class GridMiddleware:
             server.submit(task)
         except TaskRejected as exc:
             task.mark_failed(now, str(exc))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    "task.reject",
+                    task=task.task_id,
+                    server=decision.server,
+                    reason=str(exc),
+                )
             self.agent.notify_failure(task, decision.server, now)
             self._maybe_retry(task, now)
 
     def _on_task_completed(self, task: Task, at: float) -> None:
         server_name = task.attempts[-1].server
+        if self.tracer is not None:
+            self.tracer.emit(
+                at, "task.complete", task=task.task_id, server=server_name
+            )
         self.agent.notify_completion(task, server_name, at)
         self._task_terminal(task)
 
     def _on_task_failed(self, task: Task, at: float, reason: str) -> None:
         server_name = task.attempts[-1].server if task.attempts else "?"
+        if self.tracer is not None:
+            self.tracer.emit(
+                at, "task.fail", task=task.task_id, server=server_name, reason=reason
+            )
         self.agent.notify_failure(task, server_name, at)
         self._maybe_retry(task, at)
 
     def _maybe_retry(self, task: Task, at: float) -> None:
         if self.fault_policy.should_retry(task.n_attempts):
+            if self.tracer is not None:
+                self.tracer.emit(
+                    at, "task.retry", task=task.task_id, attempt=task.n_attempts
+                )
             delay = max(self.fault_policy.retry_delay_s, 0.0)
             # The task keeps its FAILED status during the back-off window and
             # only becomes SUBMITTED when the deferred dispatch actually
@@ -338,9 +413,13 @@ class GridMiddleware:
         self._dispatch(task)
 
     def _on_server_collapse(self, server: ComputeServer, at: float) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(at, "server.collapse", server=server.name)
         self.agent.notify_server_down(server.name, at)
 
     def _on_server_recovery(self, server: ComputeServer, at: float) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(at, "server.recover", server=server.name)
         self.agent.notify_server_up(server.name, at)
 
     def _task_terminal(self, task: Task) -> None:
@@ -396,7 +475,28 @@ class GridMiddleware:
             server_stats={name: server.stats.as_dict() for name, server in self.servers.items()},
             seed=self.config.seed,
             truncated=truncated,
+            counters=middleware_counters(self),
+            monitor_summary=self._monitor_summary(),
+            trace_events=self.tracer.events() if self.tracer is not None else (),
+            trace_dropped=self.tracer.dropped if self.tracer is not None else 0,
         )
+
+    def _monitor_summary(self) -> Dict[str, float]:
+        """Report-bus health of the run (counts + staleness-at-dispatch)."""
+        stats = self.agent.stats
+        with_report = stats.dispatches_with_report
+        return {
+            "reports_sent": float(sum(m.reports_sent for m in self.monitors.values())),
+            "reports_received": float(stats.reports_received),
+            "reports_down_received": float(stats.reports_down_received),
+            "reports_dropped": float(stats.reports_dropped),
+            "dispatches_with_report": float(with_report),
+            "dispatches_without_report": float(stats.dispatches_without_report),
+            "staleness_mean_s": (
+                stats.staleness_sum / with_report if with_report else 0.0
+            ),
+            "staleness_max_s": stats.staleness_max,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -18,6 +18,7 @@ from __future__ import annotations
 import sys
 from typing import IO, Optional
 
+from ..obs import perf_counter
 from .records import RunRecord
 from .resultset import ResultSet
 
@@ -74,17 +75,34 @@ class ProgressObserver(CampaignObserver):
     machine-parsable and byte-identical with and without progress display).
     Cells recovered from a campaign store are marked ``(cached)``, and the
     end-of-campaign line splits the total into cached vs computed whenever a
-    store served at least one cell.
+    store served at least one cell.  Each line carries the running
+    throughput (cells/s) and an ETA once at least one cell has landed; the
+    clock behind them is :func:`repro.obs.perf_counter` — wall time stays on
+    this display-only path and never reaches records.
     """
 
     def __init__(self, stream: Optional[IO[str]] = None):
         self.stream = stream if stream is not None else sys.stderr
         self._cached = 0
         self._computed = 0
+        self._t0: Optional[float] = None
+
+    def _pace(self, done: int, total: int) -> str:
+        """`` — 12.3 cells/s, ETA 0:42`` (empty until the rate is measurable)."""
+        if self._t0 is None:
+            return ""
+        elapsed = perf_counter() - self._t0
+        if elapsed <= 0.0 or done <= 0:
+            return ""
+        rate = done / elapsed
+        remaining = max(0, total - done)
+        eta_s = int(remaining / rate) if rate > 0 else 0
+        return f" — {rate:.1f} cells/s, ETA {eta_s // 60}:{eta_s % 60:02d}"
 
     def on_campaign_start(self, experiment_id: str, total_cells: int) -> None:
         self._cached = 0
         self._computed = 0
+        self._t0 = perf_counter()
         print(f"[{experiment_id}] {total_cells} cells planned", file=self.stream)
 
     def on_cell_complete(
@@ -99,7 +117,7 @@ class ProgressObserver(CampaignObserver):
         print(
             f"[{record.experiment_id}] {index + 1}/{total} "
             f"{record.heuristic} m{record.metatask_index} rep{record.repetition}"
-            f"{origin}{status}",
+            f"{origin}{status}{self._pace(index + 1, total)}",
             file=self.stream,
         )
 
@@ -109,8 +127,13 @@ class ProgressObserver(CampaignObserver):
             if self._cached
             else ""
         )
+        pace = ""
+        if self._t0 is not None:
+            elapsed = perf_counter() - self._t0
+            if elapsed > 0.0 and len(result_set):
+                pace = f" in {elapsed:.1f}s ({len(result_set) / elapsed:.1f} cells/s)"
         print(
             f"[{result_set.meta.get('experiment_id', 'campaign')}] "
-            f"done: {len(result_set)} records{split}",
+            f"done: {len(result_set)} records{split}{pace}",
             file=self.stream,
         )

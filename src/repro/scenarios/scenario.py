@@ -50,6 +50,7 @@ __all__ = [
     "scenario_names",
     "get_scenario",
     "scenario_seed_offset",
+    "scenario_config",
     "build_scenario_metatasks",
     "run_scenario",
 ]
@@ -178,6 +179,28 @@ def build_scenario_metatasks(scenario: Scenario, config: ExperimentConfig) -> Li
     return metatasks
 
 
+def scenario_config(scenario: Scenario, config: ExperimentConfig) -> ExperimentConfig:
+    """The effective configuration a scenario runs under.
+
+    Folds the scenario's identity into ``config``: the CRC-derived seed base,
+    the compared heuristics and reference, and the materialised fault
+    schedule.  This is the single place the folding happens — both
+    :func:`run_scenario` and the profiling harness
+    (:mod:`repro.obs.profile`) build their campaigns from it, so a profiled
+    run simulates exactly the cells a scenario run would.
+    """
+    middleware = config.middleware
+    if scenario.fault_schedule is not None:
+        middleware = replace(middleware, fault_schedule=scenario.fault_schedule(scenario, config))
+    return replace(
+        config,
+        seed=config.seed + scenario_seed_offset(scenario.name),
+        heuristics=scenario.heuristics,
+        reference=scenario.reference,
+        middleware=middleware,
+    )
+
+
 def run_scenario(
     scenario: Union[str, Scenario],
     config: Optional[ExperimentConfig] = None,
@@ -193,17 +216,7 @@ def run_scenario(
         scenario = get_scenario(scenario)
     config = config if config is not None else ExperimentConfig(scale=FULL_SCALE)
 
-    middleware = config.middleware
-    if scenario.fault_schedule is not None:
-        middleware = replace(middleware, fault_schedule=scenario.fault_schedule(scenario, config))
-    effective = replace(
-        config,
-        seed=config.seed + scenario_seed_offset(scenario.name),
-        heuristics=scenario.heuristics,
-        reference=scenario.reference,
-        middleware=middleware,
-    )
-
+    effective = scenario_config(scenario, config)
     metatasks = build_scenario_metatasks(scenario, effective)
     notes = [f"scenario: {scenario.name} ({scenario.regime}); {scenario.description}"]
     notes.extend(scenario.notes)

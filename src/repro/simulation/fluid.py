@@ -134,6 +134,14 @@ class ProcessorSharingQueue:
         #: no longer matches ``_jobs`` are stale (lazy deletion).
         self._heap: List[Tuple[float, int, Hashable]] = []
         self._order = 0
+        # Hot-path work counters (rolled up by :mod:`repro.obs.counters`).
+        # Plain ints on purpose: one ``+= 1`` next to a heap push is
+        # unmeasurable, a dict lookup per event is not.  Deterministic per
+        # run — they describe the implementation's work, never the model's.
+        self.n_heap_pushes = 0
+        self.n_lazy_discards = 0
+        self.n_completions = 0
+        self.n_reanchors = 0
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -195,6 +203,7 @@ class ProcessorSharingQueue:
         self._jobs[key] = job
         heapq.heappush(self._heap, (job.target, job.order, key))
         self._order += 1
+        self.n_heap_pushes += 1
 
     def remove(self, key: Hashable, now: float) -> float:
         """Remove job ``key`` (e.g. cancelled) and return its remaining work.
@@ -238,6 +247,7 @@ class ProcessorSharingQueue:
             if job is not None and job.order == order:
                 return target
             heapq.heappop(heap)
+            self.n_lazy_discards += 1
         return None
 
     def next_completion_time(self) -> float:
@@ -281,6 +291,7 @@ class ProcessorSharingQueue:
             # Jobs finishing in the same instant are reported in insertion
             # order (their targets agree to within EPSILON but not exactly).
             finished.sort(key=lambda j: j.order)
+            self.n_completions += len(finished)
             for job in finished:
                 completions.append((self._time, job.key))
         self._progress(now)
@@ -296,6 +307,8 @@ class ProcessorSharingQueue:
         the whole run, which keeps the absolute EPSILON comparisons against
         ``target - _vtime`` sharp on arbitrarily long horizons.
         """
+        if self._vtime != 0.0 or self._heap:
+            self.n_reanchors += 1
         self._vtime = 0.0
         self._heap.clear()
 
@@ -322,7 +335,20 @@ class ProcessorSharingQueue:
         clone._jobs = dict(self._jobs)
         clone._heap = list(self._heap)
         clone._order = self._order
+        clone.n_heap_pushes = self.n_heap_pushes
+        clone.n_lazy_discards = self.n_lazy_discards
+        clone.n_completions = self.n_completions
+        clone.n_reanchors = self.n_reanchors
         return clone
+
+    def counters(self) -> Dict[str, int]:
+        """Hot-path work counters of this queue (see :mod:`repro.obs.counters`)."""
+        return {
+            "heap_pushes": self.n_heap_pushes,
+            "lazy_discards": self.n_lazy_discards,
+            "completions": self.n_completions,
+            "reanchors": self.n_reanchors,
+        }
 
     def __repr__(self) -> str:
         return (
@@ -443,6 +469,9 @@ class FluidNetwork:
         self._seq = 0
         self._time = float(time)
         self._version = 0
+        # Hot-path work counters (rolled up by :mod:`repro.obs.counters`).
+        self.n_stage_events = 0
+        self.n_arrivals_activated = 0
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -648,6 +677,7 @@ class FluidNetwork:
                 completions.append((time, key, name))
         completions.sort(key=lambda item: item[0])
         self._time = max(self._time, target)
+        self.n_stage_events += len(completions)
         for time, key, resource in completions:
             state = self._tasks[key]
             state.stage_finish_times.append(time)
@@ -672,6 +702,7 @@ class FluidNetwork:
                 break
             heapq.heappop(heap)
             del self._pending[key]
+            self.n_arrivals_activated += 1
             state = self._tasks[key]
             self._start_task(state, max(state.arrival, self._time), events)
 
@@ -690,6 +721,7 @@ class FluidNetwork:
             # Zero-work stage: complete it immediately.
             state.stage_finish_times.append(now)
             finished_task = state.stage_index == len(state.stages) - 1
+            self.n_stage_events += 1
             events.append(
                 FluidEvent(now, state.key, state.stage_index, stage.resource, finished_task)
             )
@@ -709,7 +741,31 @@ class FluidNetwork:
         clone._seq = self._seq
         clone._time = self._time
         clone._version = self._version
+        clone.n_stage_events = self.n_stage_events
+        clone.n_arrivals_activated = self.n_arrivals_activated
         return clone
+
+    def counters(self) -> Dict[str, int]:
+        """Hot-path work counters, the per-resource queues summed in.
+
+        Deterministic per run (pure function of the event sequence), but an
+        *implementation* measure, not a model output: counters never enter
+        :class:`~repro.results.RunRecord` metrics or fingerprints.
+        """
+        out = {
+            "stage_events": self.n_stage_events,
+            "arrivals_activated": self.n_arrivals_activated,
+            "heap_pushes": 0,
+            "lazy_discards": 0,
+            "completions": 0,
+            "reanchors": 0,
+        }
+        for queue in self._queues.values():
+            out["heap_pushes"] += queue.n_heap_pushes
+            out["lazy_discards"] += queue.n_lazy_discards
+            out["completions"] += queue.n_completions
+            out["reanchors"] += queue.n_reanchors
+        return {key: out[key] for key in sorted(out)}
 
     def __repr__(self) -> str:
         active = sum(1 for t in self._tasks.values() if not t.finished)

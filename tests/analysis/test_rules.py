@@ -155,15 +155,29 @@ class TestDetClock:
         )
         assert len(found) == 1
 
-    def test_benchmark_modules_are_out_of_scope(self):
+    def test_obs_package_is_the_sole_exemption(self):
         assert not findings_for(
             """
             import time
             t = time.perf_counter()
             """,
-            "repro/benchmarks/timing.py",
+            "repro/obs/wallclock.py",
             "DET-CLOCK",
         )
+
+    def test_scope_is_package_wide_outside_obs(self):
+        # Before the obs subsystem the rule only watched four subsystems;
+        # now every repro module except repro/obs/ is in scope.
+        found = findings_for(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            "repro/results/observers.py",
+            "DET-CLOCK",
+        )
+        assert len(found) == 1
+        assert "repro.obs" in found[0].message
 
 
 class TestDetOrder:

@@ -1,0 +1,73 @@
+"""Schema golden tests of the Chrome ``trace_event`` exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import CellTrace, TraceEvent, chrome_trace, write_chrome_trace
+
+
+def _cell():
+    return CellTrace(
+        heuristic="mct",
+        metatask_index=0,
+        repetition=0,
+        events=(
+            TraceEvent(0.0, "task.submit", (("task", "t1"), ("problem", "matmul-1200"))),
+            TraceEvent(0.5, "task.dispatch", (("task", "t1"), ("server", "adonis"))),
+            TraceEvent(4.25, "task.complete", (("task", "t1"), ("server", "adonis"))),
+        ),
+    )
+
+
+class TestChromeTrace:
+    def test_document_shape_is_the_pinned_schema(self):
+        doc = chrome_trace([_cell()])
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["clock"] == "virtual"
+
+    def test_metadata_events_name_cell_and_lanes(self):
+        events = chrome_trace([_cell()])["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0] == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "mct m0 rep0"},
+        }
+        lane_names = [e["args"]["name"] for e in meta[1:]]
+        assert lane_names == sorted(lane_names)  # tids over sorted actors
+        assert "agent" in lane_names and "adonis" in lane_names
+
+    def test_instant_events_scale_virtual_seconds_to_microseconds(self):
+        events = chrome_trace([_cell()])["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["ts"] for e in instants] == [0.0, 0.5e6, 4.25e6]
+        for e in instants:
+            assert e["s"] == "t"
+            assert e["cat"] == "task"
+            assert e["args"]["task"] == "t1"
+
+    def test_server_events_land_on_the_server_lane(self):
+        events = chrome_trace([_cell()])["traceEvents"]
+        lanes = {e["args"]["name"]: e["tid"] for e in events if e["ph"] == "M" and e["tid"]}
+        dispatch = next(e for e in events if e["name"] == "task.dispatch")
+        assert dispatch["tid"] == lanes["adonis"]
+        submit = next(e for e in events if e["name"] == "task.submit")
+        assert submit["tid"] == lanes["agent"]
+
+    def test_cells_become_processes_in_planned_order(self):
+        second = CellTrace(heuristic="msf", metatask_index=1, repetition=2,
+                           events=(TraceEvent(1.0, "task.submit", (("task", "t2"),)),))
+        events = chrome_trace([_cell(), second])["traceEvents"]
+        assert {e["pid"] for e in events} == {1, 2}
+        names = [e["args"]["name"] for e in events if e["name"] == "process_name"]
+        assert names == ["mct m0 rep0", "msf m1 rep2"]
+
+    def test_write_is_valid_json_and_returns_event_count(self, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        count = write_chrome_trace(path, [_cell()])
+        doc = json.load(open(path, encoding="utf-8"))
+        assert len(doc["traceEvents"]) == count

@@ -1,0 +1,155 @@
+"""End-to-end tests of the profiling harness and trace determinism.
+
+The two contracts the subsystem ships on:
+
+* a traced campaign's JSONL (and Chrome export) is byte-identical at any
+  ``--jobs`` level — the trace is a function of the plan, not the executor;
+* turning tracing on does not change a single record.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs.profile import profile_scenario, trace_scenario
+
+_TASKS = 20
+
+
+class TestProfileScenario:
+    def test_report_has_phases_and_fluid_counters(self):
+        report = profile_scenario("diurnal-week", tasks=_TASKS)
+        assert [name for name, _ in report.phases] == [
+            "setup",
+            "workload-gen",
+            "simulate",
+            "aggregate",
+            "report",
+        ]
+        assert report.cells_counted == report.cells_total > 0
+        assert report.tasks_simulated == _TASKS * report.cells_total
+        assert any(key.startswith("fluid.") for key in report.counters)
+        assert report.profile_top == []  # cProfile off by default
+
+    def test_cprofile_populates_hottest_functions(self):
+        report = profile_scenario("diurnal-week", tasks=_TASKS, profile=True, top=5)
+        assert 0 < len(report.profile_top) <= 5
+        assert all("cumtime_s" in entry for entry in report.profile_top)
+
+    def test_heuristic_subset_is_validated(self):
+        with pytest.raises(ExperimentError):
+            profile_scenario("diurnal-week", tasks=_TASKS, heuristics=["nope"])
+
+    def test_heuristic_subset_shrinks_the_campaign(self):
+        report = profile_scenario("diurnal-week", tasks=_TASKS, heuristics=["mct"])
+        assert report.cells_total == 1
+
+
+class TestTraceDeterminism:
+    def test_trace_is_byte_identical_across_jobs(self, tmp_path):
+        paths = {}
+        for jobs in (1, 2):
+            out = str(tmp_path / f"trace-j{jobs}.jsonl")
+            chrome = str(tmp_path / f"chrome-j{jobs}.json")
+            result = trace_scenario(
+                "diurnal-week", out=out, chrome_out=chrome, tasks=_TASKS, jobs=jobs
+            )
+            assert result.events > 0 and result.dropped == 0
+            paths[jobs] = (out, chrome)
+        assert filecmp.cmp(paths[1][0], paths[2][0], shallow=False)
+        assert filecmp.cmp(paths[1][1], paths[2][1], shallow=False)
+
+    def test_trace_covers_the_event_taxonomy(self, tmp_path):
+        out = str(tmp_path / "trace.jsonl")
+        trace_scenario("diurnal-week", out=out, tasks=_TASKS)
+        kinds = {json.loads(line)["kind"] for line in open(out, encoding="utf-8")}
+        assert {"task.submit", "task.dispatch", "task.complete", "monitor.report"} <= kinds
+        assert any(kind.startswith("htm.") for kind in kinds)  # hmct/msf cells
+
+    def test_ring_limit_truncates_visibly(self, tmp_path):
+        out = str(tmp_path / "trace.jsonl")
+        result = trace_scenario("diurnal-week", out=out, tasks=_TASKS, limit=10)
+        assert result.dropped > 0
+        markers = [
+            json.loads(line)
+            for line in open(out, encoding="utf-8")
+            if json.loads(line)["kind"] == "trace.dropped"
+        ]
+        assert sum(marker["count"] for marker in markers) == result.dropped
+
+    def test_chrome_export_loads_and_uses_virtual_clock(self, tmp_path):
+        out = str(tmp_path / "trace.jsonl")
+        chrome = str(tmp_path / "chrome.json")
+        trace_scenario("diurnal-week", out=out, chrome_out=chrome, tasks=_TASKS)
+        doc = json.load(open(chrome, encoding="utf-8"))
+        assert doc["otherData"]["clock"] == "virtual"
+        assert any(event["ph"] == "i" for event in doc["traceEvents"])
+
+
+class TestTracingNeverChangesRecords:
+    def test_traced_and_untraced_campaigns_agree(self):
+        from repro.experiments.campaign import run_campaign
+        from repro.experiments.config import ExperimentConfig, ExperimentScale
+        from repro.scenarios.scenario import (
+            build_scenario_metatasks,
+            get_scenario,
+            scenario_config,
+        )
+
+        scenario = get_scenario("diurnal-week")
+        config = scenario_config(
+            scenario,
+            ExperimentConfig(
+                scale=ExperimentScale(
+                    name="tiny", task_count=_TASKS, metatask_count=1, repetitions=1
+                )
+            ),
+        )
+        kwargs = dict(
+            experiment_id=f"scenario-{scenario.name}",
+            title="t",
+            platform=scenario.platform_factory(),
+            metatasks=build_scenario_metatasks(scenario, config),
+            config=config,
+            jobs=1,
+        )
+        plain = run_campaign(**kwargs)
+        # rebuild the platform: a middleware cannot run twice
+        kwargs["platform"] = scenario.platform_factory()
+        traced = run_campaign(**kwargs, trace=True)
+        assert plain.result_set.records == traced.result_set.records
+        assert plain.render() == traced.render()
+        assert plain.traces == []
+        assert len(traced.traces) > 0
+        assert all(len(cell.events) > 0 for cell in traced.traces)
+
+
+class TestCli:
+    def test_profile_run_and_trace_from_the_shell(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = str(tmp_path / "perf.json")
+        assert main([
+            "profile", "run", "diurnal-week",
+            "--tasks", str(_TASKS), "--heuristics", "mct", "--json", json_path,
+        ]) == 0
+        assert "perf report: diurnal-week" in capsys.readouterr().out
+        assert json.load(open(json_path))["schema"] == "perf-report/v1"
+
+        out = str(tmp_path / "trace.jsonl")
+        assert main([
+            "profile", "trace", "diurnal-week",
+            "--tasks", str(_TASKS), "--heuristics", "mct", "--out", out,
+        ]) == 0
+        assert "trace: diurnal-week" in capsys.readouterr().out
+        assert len(open(out).read().splitlines()) > 0
+
+    def test_profile_rejects_bad_jobs(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["profile", "run", "diurnal-week", "--jobs", "0"])

@@ -1,0 +1,99 @@
+"""Unit tests of the trace bus: events, ring bounds, JSONL serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CellTrace,
+    TraceEvent,
+    Tracer,
+    event_line,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+
+
+class TestTraceEvent:
+    def test_as_dict_puts_t_and_kind_first(self):
+        event = TraceEvent(1.5, "task.dispatch", (("task", "t1"), ("server", "a")))
+        assert list(event.as_dict()) == ["t", "kind", "task", "server"]
+
+    def test_events_are_hashable_and_frozen(self):
+        event = TraceEvent(0.0, "task.submit", (("task", "t1"),))
+        assert {event, event} == {event}
+        with pytest.raises(AttributeError):
+            event.t = 1.0
+
+
+class TestTracer:
+    def test_emit_preserves_order_and_payload(self):
+        tracer = Tracer()
+        tracer.emit(0.5, "task.submit", task="t1")
+        tracer.emit(1.0, "task.dispatch", task="t1", server="adonis")
+        kinds = [event.kind for event in tracer.events()]
+        assert kinds == ["task.submit", "task.dispatch"]
+        assert tracer.events()[1].data == (("task", "t1"), ("server", "adonis"))
+
+    def test_ring_limit_keeps_newest_and_counts_dropped(self):
+        tracer = Tracer(limit=3)
+        for i in range(5):
+            tracer.emit(float(i), "tick", i=i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [dict(e.data)["i"] for e in tracer.events()] == [2, 3, 4]
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.emit(float(i), "tick")
+        assert len(tracer) == 100 and tracer.dropped == 0
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(limit=0)
+
+
+class TestJsonl:
+    def _cell(self, events, dropped=0):
+        return CellTrace(
+            heuristic="mct",
+            metatask_index=0,
+            repetition=1,
+            events=tuple(events),
+            dropped=dropped,
+        )
+
+    def test_event_line_is_compact_and_cell_tagged(self):
+        event = TraceEvent(2.5, "task.complete", (("task", "t9"),))
+        line = event_line(event, self._cell([event]))
+        assert line == '{"cell":"mct/m0/rep1","t":2.5,"kind":"task.complete","task":"t9"}'
+
+    def test_event_line_rejects_non_finite_payloads(self):
+        event = TraceEvent(0.0, "bad", (("x", float("inf")),))
+        with pytest.raises(ValueError):
+            event_line(event)
+
+    def test_write_read_roundtrip(self, tmp_path):
+        events = [TraceEvent(float(i), "tick", (("i", i),)) for i in range(3)]
+        path = str(tmp_path / "trace.jsonl")
+        assert write_trace_jsonl(path, [self._cell(events)]) == 3
+        loaded = read_trace_jsonl(path)
+        assert [entry["i"] for entry in loaded] == [0, 1, 2]
+        assert all(entry["cell"] == "mct/m0/rep1" for entry in loaded)
+
+    def test_truncated_cell_gets_a_dropped_marker_line(self, tmp_path):
+        events = [TraceEvent(1.0, "tick")]
+        path = str(tmp_path / "trace.jsonl")
+        assert write_trace_jsonl(path, [self._cell(events, dropped=7)]) == 2
+        marker = read_trace_jsonl(path)[-1]
+        assert marker["kind"] == "trace.dropped"
+        assert marker["count"] == 7
+
+    def test_lines_are_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, [self._cell([TraceEvent(0.25, "tick", (("ok", True),))])])
+        for line in open(path, encoding="utf-8"):
+            assert json.loads(line)["t"] == 0.25
