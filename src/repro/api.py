@@ -26,6 +26,15 @@ versions:
   ``cProfile`` for one scenario campaign, or a virtual-time event trace
   exported as JSONL / Chrome ``trace_event``.  The programmatic forms of
   ``repro profile run`` and ``repro profile trace``.
+* :func:`metrics` — fixed-interval virtual-time metric series for one
+  scenario campaign, exported as byte-stable JSONL (plus optional CSV and
+  Chrome counter tracks).  The programmatic form of ``repro metrics
+  record``; render with :mod:`repro.obs` dashboard helpers or ``repro
+  metrics show|plot``.
+* :func:`bench` — measure a named benchmark suite into a
+  :class:`~repro.bench.BenchReport` and optionally gate it against a
+  baseline (:func:`repro.bench.compare_reports`).  The programmatic form
+  of ``repro bench run``.
 
 Quickstart::
 
@@ -60,6 +69,8 @@ __all__ = [
     "check",
     "profile",
     "trace",
+    "metrics",
+    "bench",
     "load_results",
     "save_results",
     "compare",
@@ -356,6 +367,91 @@ def trace(
         jobs=jobs,
         limit=limit,
     )
+
+
+def metrics(
+    scenario: str,
+    out: Union[str, "os.PathLike[str]"],
+    *,
+    csv_out: Optional[Union[str, "os.PathLike[str]"]] = None,
+    chrome_out: Optional[Union[str, "os.PathLike[str]"]] = None,
+    tasks: Optional[int] = None,
+    metatasks: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    interval: Optional[float] = None,
+    window: Optional[float] = None,
+):
+    """Record one scenario campaign's virtual-time metric series.
+
+    Runs ``scenario`` with the :mod:`repro.obs` metrics sampler attached —
+    every ``interval`` virtual seconds (default 60) each cell samples queue
+    depth and utilization per server, in-flight tasks, cumulative
+    completions / failures, mean report staleness, HTM backlog and sliding-
+    window throughput / latency (``window`` defaults to 5× the interval) —
+    and writes the series as versioned JSONL to ``out``.  Sampling reads
+    simulation state without touching it, so the run's records equal an
+    unsampled run's and the JSONL is byte-identical at any ``jobs`` level.
+    ``csv_out`` adds a long-format CSV; ``chrome_out`` adds a Chrome
+    ``trace_event`` export with the samples as counter tracks.  Returns the
+    :class:`~repro.obs.profile.MetricsRunResult`.  The shell form is
+    ``repro metrics record``; render files with ``repro metrics show|plot``.
+    """
+    from .obs.profile import metrics_scenario  # deferred: keeps `import repro.api` light
+
+    return metrics_scenario(
+        scenario,
+        out=os.fspath(out),
+        csv_out=None if csv_out is None else os.fspath(csv_out),
+        chrome_out=None if chrome_out is None else os.fspath(chrome_out),
+        tasks=tasks,
+        metatasks=metatasks,
+        repetitions=repetitions,
+        heuristics=heuristics,
+        seed=seed,
+        jobs=jobs,
+        interval=interval,
+        window=window,
+    )
+
+
+def bench(
+    suite: str = "default",
+    *,
+    cases: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    json_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+):
+    """Measure a named benchmark suite and return its
+    :class:`~repro.bench.BenchReport`.
+
+    Runs every case of ``suite`` (``"default"`` or ``"smoke"``; ``cases``
+    restricts to a subset by name) through the profiling harness and
+    collects wall seconds, phase splits, task throughput and the
+    deterministic hot-path counters per case.  ``json_path`` writes the
+    ``bench-report/v1`` JSON.  Gate against a baseline with
+    :func:`repro.bench.compare_reports`, or from the shell with
+    ``repro bench compare`` (exit 1 on regression — the CI gate).
+    """
+    from .bench import get_suite, run_suite  # deferred: keeps `import repro.api` light
+
+    selected = get_suite(suite)
+    if cases:
+        by_name = {case.name: case for case in selected}
+        unknown = [name for name in cases if name not in by_name]
+        if unknown:
+            raise ExperimentError(
+                f"unknown case(s) {unknown} in suite {suite!r} "
+                f"(has: {sorted(by_name)})"
+            )
+        selected = tuple(by_name[name] for name in cases)
+    report = run_suite(selected, suite=suite, seed=seed, jobs=jobs)
+    if json_path is not None:
+        report.save_json(os.fspath(json_path))
+    return report
 
 
 def load_results(path: Union[str, "os.PathLike[str]"]) -> ResultSet:

@@ -1,0 +1,48 @@
+"""Unified bench harness: ``repro bench run|compare|history``.
+
+The regression-tracking layer on top of the profiling harness (see README
+"Metrics & regression tracking"):
+
+* :mod:`repro.bench.suite` — the named benchmark suites: each
+  :class:`BenchCase` pins one registry scenario at a fixed size/seed so a
+  suite measures the same work every time;
+* :mod:`repro.bench.runner` — drives every case through
+  :func:`repro.obs.profile.profile_scenario` (wall-clock phase timers +
+  deterministic hot-path counters) into one schema'd ``bench-report.json``;
+* :mod:`repro.bench.compare` — diffs two reports under configurable
+  thresholds; ``repro bench compare`` exits non-zero on regression, which
+  is exactly what the CI gate runs against the committed baseline;
+* :mod:`repro.bench.history` — sequence-numbered report archive with a
+  per-case trend view.
+
+Determinism contract: this package never reads a wall clock itself (the
+DET-CLOCK lint rule holds here — only ``repro/obs/`` may); every wall
+number in a bench report was measured by the profiling harness.  Counters
+are exact across machines, wall seconds are not — which is why the compare
+gate can check counters strictly everywhere but wall time only against a
+baseline from comparable hardware (CI runs ``--no-wall-gate`` against the
+committed baseline and proves the wall gate on a synthetic slowdown).
+"""
+
+from .suite import BenchCase, DEFAULT_SUITE, SMOKE_SUITE, SUITES, get_suite
+from .report import BenchCaseResult, BenchReport
+from .runner import run_suite
+from .compare import BenchComparison, CaseDelta, compare_reports
+from .history import history_entries, next_history_path, render_history
+
+__all__ = [
+    "BenchCase",
+    "DEFAULT_SUITE",
+    "SMOKE_SUITE",
+    "SUITES",
+    "get_suite",
+    "BenchCaseResult",
+    "BenchReport",
+    "run_suite",
+    "BenchComparison",
+    "CaseDelta",
+    "compare_reports",
+    "history_entries",
+    "next_history_path",
+    "render_history",
+]

@@ -1,0 +1,73 @@
+"""Sequence-numbered bench report archive (``repro bench history``).
+
+Reports land as ``bench-0001.json``, ``bench-0002.json``, ... — sequence
+numbers, *not* timestamps: this package may not read a wall clock
+(DET-CLOCK exempts only ``repro/obs/``), and sequence numbers sort
+identically everywhere anyway.  The trend view leans on the dashboard's
+sparklines so a creeping slowdown is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import ResultsError
+from ..obs.dashboard import sparkline
+from .report import BenchReport
+
+__all__ = ["history_entries", "next_history_path", "render_history"]
+
+#: Archive filename shape; the group is the sequence number.
+_HISTORY_RE = re.compile(r"^bench-(\d{4,})\.json$")
+
+
+def history_entries(directory: str) -> List[Tuple[str, BenchReport]]:
+    """``(path, report)`` for every archived report, in sequence order."""
+    if not os.path.isdir(directory):
+        raise ResultsError(f"bench history directory {directory!r} does not exist")
+    entries: List[Tuple[int, str]] = []
+    for name in sorted(os.listdir(directory)):
+        match = _HISTORY_RE.match(name)
+        if match:
+            entries.append((int(match.group(1)), os.path.join(directory, name)))
+    entries.sort()
+    return [(path, BenchReport.load_json(path)) for _, path in entries]
+
+
+def next_history_path(directory: str) -> str:
+    """The next free ``bench-%04d.json`` slot (creates the directory)."""
+    os.makedirs(directory, exist_ok=True)
+    highest = 0
+    for name in os.listdir(directory):
+        match = _HISTORY_RE.match(name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory, f"bench-{highest + 1:04d}.json")
+
+
+def render_history(entries: List[Tuple[str, BenchReport]]) -> str:
+    """Per-case wall-time trend across the archive, oldest to newest."""
+    if not entries:
+        return "bench history: empty"
+    # Case -> wall seconds per archived report, in archive order; cases keep
+    # first-appearance order so the table is stable as suites evolve.
+    series: Dict[str, List[float]] = {}
+    for _, report in entries:
+        for case in report.cases:
+            series.setdefault(case.name, [])
+    for _, report in entries:
+        for name in series:
+            case = report.case(name)
+            series[name].append(case.wall_s if case is not None else 0.0)
+    lines = [f"bench history: {len(entries)} report(s)"]
+    for name, walls in series.items():
+        present = [w for w in walls if w > 0]
+        latest = present[-1] if present else 0.0
+        lines.append(
+            f"  {name:<24} latest {latest:8.3f}s  "
+            f"{sparkline(walls, width=min(len(walls), 32))}"
+        )
+    lines.append(f"  (oldest {entries[0][0]} .. newest {entries[-1][0]})")
+    return "\n".join(lines)

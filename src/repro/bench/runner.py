@@ -1,0 +1,71 @@
+"""Drive a bench suite through the profiling harness.
+
+Each case runs via :func:`repro.obs.profile.profile_scenario` — the same
+phase-timed campaign the ``repro profile`` family uses — and its
+:class:`~repro.obs.report.PerfReport` is distilled into one
+:class:`~repro.bench.report.BenchCaseResult`.  All wall numbers are
+measured inside ``repro.obs``; this module only rearranges them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..errors import ExperimentError
+from .report import BenchCaseResult, BenchReport
+from .suite import BenchCase
+
+__all__ = ["run_suite"]
+
+
+def run_suite(
+    cases: Sequence[BenchCase],
+    *,
+    suite: str = "custom",
+    seed: int = 2003,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run every case and assemble the :class:`BenchReport`.
+
+    ``progress`` (e.g. ``lambda s: print(s, file=sys.stderr)``) gets one
+    line per case as it completes, so long suites are not silent.
+    """
+    from ..obs.profile import profile_scenario
+
+    if not cases:
+        raise ExperimentError("bench suite is empty — nothing to measure")
+    names = [case.name for case in cases]
+    if len(set(names)) != len(names):
+        raise ExperimentError(f"duplicate bench case names in suite: {names}")
+
+    report = BenchReport(suite=suite, seed=seed, jobs=jobs)
+    for case in cases:
+        perf = profile_scenario(
+            case.scenario,
+            tasks=case.tasks,
+            metatasks=case.metatasks,
+            repetitions=case.repetitions,
+            heuristics=list(case.heuristics) if case.heuristics else None,
+            seed=seed,
+            jobs=jobs,
+        )
+        result = BenchCaseResult(
+            name=case.name,
+            scenario=case.scenario,
+            scale=dict(perf.scale),
+            wall_s=perf.wall_s_total,
+            phases={name: seconds for name, seconds in perf.phases},
+            tasks_simulated=perf.tasks_simulated,
+            tasks_per_s=perf.tasks_per_s,
+            cells=perf.cells_total,
+            counters=dict(perf.counters),
+        )
+        report.cases.append(result)
+        if progress is not None:
+            progress(
+                f"[bench] {case.name}: {result.wall_s:.3f}s, "
+                f"{result.tasks_simulated} tasks "
+                f"({result.tasks_per_s:.1f} tasks/s)"
+            )
+    return report

@@ -1,0 +1,76 @@
+"""Named benchmark suites.
+
+A :class:`BenchCase` pins one registry scenario at a fixed size so a suite
+measures the same simulation work on every run — the precondition for both
+the exact-counter check and any meaningful wall-time comparison.  Case
+names are unique within a suite and are the join key of
+:func:`repro.bench.compare.compare_reports`, so renaming a case reads as
+"case disappeared" against an old baseline (by design: a silent rename
+would also silently reset its history).
+
+Sizes are chosen so ``default`` finishes in a few seconds on a laptop and
+``smoke`` in well under one — small enough for CI on every push, large
+enough that the hot paths (calendar, processor-sharing rate updates, HTM
+bookkeeping) dominate over per-campaign setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ExperimentError
+
+__all__ = ["BenchCase", "DEFAULT_SUITE", "SMOKE_SUITE", "SUITES", "get_suite"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark: a registry scenario at a pinned size."""
+
+    #: Unique case name — the join key across reports.
+    name: str
+    #: Registry scenario to drive (``repro scenario list``).
+    scenario: str
+    #: Tasks per metatask.
+    tasks: int
+    metatasks: int = 1
+    repetitions: int = 1
+    #: Restrict to these heuristics (``None`` = the scenario's full set).
+    heuristics: Optional[Tuple[str, ...]] = None
+
+
+#: The committed-baseline suite (``benchmarks/bench-baseline.json``).
+DEFAULT_SUITE: Tuple[BenchCase, ...] = (
+    BenchCase(name="paper-low-rate-200", scenario="paper-low-rate", tasks=200),
+    BenchCase(name="burst-storm-150", scenario="burst-storm", tasks=150),
+    BenchCase(name="diurnal-week-150", scenario="diurnal-week", tasks=150),
+    BenchCase(name="hetero-farm-16-150", scenario="hetero-farm-16", tasks=150),
+    BenchCase(
+        name="paper-low-rate-reps",
+        scenario="paper-low-rate",
+        tasks=60,
+        repetitions=3,
+    ),
+)
+
+#: A sub-second sanity suite for pre-push checks.
+SMOKE_SUITE: Tuple[BenchCase, ...] = (
+    BenchCase(name="paper-low-rate-40", scenario="paper-low-rate", tasks=40),
+    BenchCase(name="burst-storm-40", scenario="burst-storm", tasks=40),
+)
+
+SUITES: Dict[str, Tuple[BenchCase, ...]] = {
+    "default": DEFAULT_SUITE,
+    "smoke": SMOKE_SUITE,
+}
+
+
+def get_suite(name: str) -> Tuple[BenchCase, ...]:
+    """Look up a suite by name, with a helpful error for typos."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown bench suite {name!r} (have: {', '.join(sorted(SUITES))})"
+        ) from None

@@ -56,6 +56,24 @@ event trace that opens in chrome://tracing / Perfetto::
     repro profile run diurnal-week --tasks 5000 --profile --json perf-report.json
     repro profile trace diurnal-week --out trace.jsonl --chrome trace-chrome.json
 
+The metrics sampler records fixed-interval virtual-time series (queue
+depths, utilization, in-flight tasks, windowed throughput/latency) and the
+offline dashboards render them — TTY sparklines or a single-file HTML
+report::
+
+    repro metrics record diurnal-week --tasks 500 --out metrics.jsonl
+    repro metrics show metrics.jsonl --columns inflight,throughput_w
+    repro metrics plot metrics.jsonl --out metrics-report.html
+
+The bench harness (:mod:`repro.bench`) measures named suites and gates
+regressions against a committed baseline (exit 1 on regression — the CI
+gate)::
+
+    repro bench run --suite smoke
+    repro bench run --json bench-report.json --history runs/bench
+    repro bench compare benchmarks/bench-baseline.json bench-report.json
+    repro bench history runs/bench
+
 The ``--scale`` option trades fidelity for speed: ``full`` is the paper's
 500-task protocol, ``bench`` the benchmark harness size, ``smoke`` a few
 seconds.  ``--jobs N`` fans campaign cells out over N worker processes;
@@ -89,6 +107,8 @@ __all__ = [
     "build_cache_parser",
     "build_validate_parser",
     "build_profile_parser",
+    "build_metrics_parser",
+    "build_bench_parser",
     "main",
 ]
 
@@ -428,6 +448,202 @@ def build_profile_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_metrics_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro metrics`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Record and render virtual-time metric series (see "
+        "repro.obs): 'record' samples a scenario campaign at a fixed "
+        "virtual-time interval into byte-stable JSONL, 'show' renders TTY "
+        "sparklines, 'plot' writes a single-file HTML report.  Series "
+        "content derives from virtual time and simulation state only — "
+        "byte-identical at any --jobs level, and sampling never changes "
+        "the run's records.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    record_parser = commands.add_parser(
+        "record", help="run one scenario with the sampler on and write the series"
+    )
+    _add_profile_size_options(record_parser)
+    record_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="metrics.jsonl",
+        help="JSONL series output path (default: metrics.jsonl)",
+    )
+    record_parser.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="additionally write a long-format CSV (spreadsheet tooling)",
+    )
+    record_parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="additionally write a Chrome trace_event export with the "
+        "samples as counter tracks (open in chrome://tracing or "
+        "ui.perfetto.dev)",
+    )
+    record_parser.add_argument(
+        "--interval",
+        type=float,
+        metavar="S",
+        help="sampling interval in virtual seconds (default: 60)",
+    )
+    record_parser.add_argument(
+        "--window",
+        type=float,
+        metavar="S",
+        help="sliding window of the windowed throughput/latency columns, "
+        "virtual seconds (default: 5x the interval)",
+    )
+
+    show_parser = commands.add_parser(
+        "show", help="render a recorded series as TTY sparklines"
+    )
+    show_parser.add_argument("file", help="a metrics .jsonl written by 'record'")
+    show_parser.add_argument(
+        "--columns",
+        metavar="A,B,...",
+        help="comma-separated columns to show (default: all recorded)",
+    )
+    show_parser.add_argument(
+        "--width",
+        type=int,
+        default=48,
+        metavar="N",
+        help="sparkline width in characters (default: 48)",
+    )
+
+    plot_parser = commands.add_parser(
+        "plot", help="render recorded series into a single-file HTML report"
+    )
+    plot_parser.add_argument(
+        "files",
+        nargs="+",
+        help="metrics .jsonl file(s); several files overlay for comparison, "
+        "labelled by filename",
+    )
+    plot_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default="metrics-report.html",
+        help="HTML output path (default: metrics-report.html); the file is "
+        "self-contained — inline SVG, no external assets",
+    )
+    plot_parser.add_argument(
+        "--columns",
+        metavar="A,B,...",
+        help="comma-separated columns to plot (default: all recorded)",
+    )
+    plot_parser.add_argument(
+        "--title", default="repro metrics", help="report title"
+    )
+    return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Build the parser of the ``repro bench`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark suites and regression gating (see repro.bench): "
+        "'run' measures a named suite into a bench-report/v1 JSON, 'compare' "
+        "diffs two reports under regression thresholds and exits 1 on "
+        "regression (the CI gate), 'history' shows per-case wall-time "
+        "trends over an archive directory.  Wall seconds are only "
+        "comparable on similar hardware; counters are exact everywhere.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_gate_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--max-slowdown",
+            type=float,
+            default=0.20,
+            metavar="X",
+            help="wall-time regression budget as a fraction "
+            "(default: 0.20 = +20%%)",
+        )
+        sub.add_argument(
+            "--counter-tolerance",
+            type=float,
+            default=0.10,
+            metavar="X",
+            help="deterministic-counter growth budget as a fraction "
+            "(default: 0.10 = +10%%)",
+        )
+        sub.add_argument(
+            "--no-wall-gate",
+            action="store_true",
+            help="report wall-time changes but never fail on them (use when "
+            "baseline and current ran on different hardware — CI does)",
+        )
+        sub.add_argument(
+            "--no-counter-gate",
+            action="store_true",
+            help="report counter growth but never fail on it",
+        )
+
+    run_parser = commands.add_parser(
+        "run", help="measure a suite and print/save the bench report"
+    )
+    run_parser.add_argument(
+        "--suite",
+        default="default",
+        help="suite name: default or smoke (default: default)",
+    )
+    run_parser.add_argument(
+        "--cases",
+        metavar="A,B,...",
+        help="comma-separated case names to run (default: the whole suite)",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=2003, help="root random seed (default: 2003)"
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1); counters are identical at any "
+        "level, wall times are not — compare like with like",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="additionally write the bench-report/v1 JSON to FILE",
+    )
+    run_parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="after the run, diff against this baseline report and exit 1 "
+        "on regression",
+    )
+    run_parser.add_argument(
+        "--history",
+        metavar="DIR",
+        help="additionally archive the report as the next bench-NNNN.json "
+        "in DIR (inspect with 'repro bench history DIR')",
+    )
+    add_gate_options(run_parser)
+
+    compare_parser = commands.add_parser(
+        "compare",
+        help="diff two bench reports; exit 1 on regression (the CI gate)",
+    )
+    compare_parser.add_argument("baseline", help="the baseline bench-report JSON")
+    compare_parser.add_argument("current", help="the candidate bench-report JSON")
+    add_gate_options(compare_parser)
+
+    history_parser = commands.add_parser(
+        "history", help="per-case wall-time trends over an archive directory"
+    )
+    history_parser.add_argument(
+        "directory", help="archive directory fed by 'repro bench run --history'"
+    )
+    return parser
+
+
 def build_results_parser() -> argparse.ArgumentParser:
     """Build the parser of the ``repro results`` subcommand family."""
     parser = argparse.ArgumentParser(
@@ -547,6 +763,14 @@ def _list_experiments() -> str:
     lines.append(
         "profiling & tracing: 'repro profile run <scenario> [--tasks N]' / "
         "'repro profile trace <scenario> --out trace.jsonl'"
+    )
+    lines.append(
+        "metric series & dashboards: 'repro metrics record <scenario> --out "
+        "metrics.jsonl' / 'repro metrics show|plot metrics.jsonl'"
+    )
+    lines.append(
+        "benchmarks & regression gate: 'repro bench run [--suite smoke]' / "
+        "'repro bench compare <baseline> <current>'"
     )
     return "\n".join(lines)
 
@@ -802,6 +1026,195 @@ def _profile_main(argv: List[str]) -> int:
     return 0
 
 
+def _split_csv(option: Optional[str]) -> Optional[List[str]]:
+    if not option:
+        return None
+    return [item.strip() for item in option.split(",") if item.strip()]
+
+
+def _metrics_main(argv: List[str]) -> int:
+    from .errors import ReproError, ResultsError
+
+    parser = build_metrics_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "record":
+        from .obs.profile import metrics_scenario
+
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        if args.interval is not None and args.interval <= 0:
+            parser.error("--interval must be > 0")
+        if args.window is not None and args.window <= 0:
+            parser.error("--window must be > 0")
+        try:
+            result = metrics_scenario(
+                args.scenario,
+                out=args.out,
+                csv_out=args.csv,
+                chrome_out=args.chrome,
+                tasks=args.tasks,
+                metatasks=args.metatasks,
+                repetitions=args.reps,
+                heuristics=_split_csv(args.heuristics),
+                seed=args.seed,
+                jobs=args.jobs,
+                interval=args.interval,
+                window=args.window,
+            )
+        except ReproError as exc:
+            parser.error(str(exc))
+        except OSError as exc:
+            parser.error(f"could not write metrics: {exc}")
+        print(result.render())
+        return 0
+
+    from .obs import read_metrics_jsonl, views_from_rows
+
+    def load_views(path: str, prefix: str = ""):
+        try:
+            _, rows = read_metrics_jsonl(path)
+        except (ResultsError, OSError) as exc:
+            parser.error(str(exc))
+        return views_from_rows(rows, prefix=prefix)
+
+    if args.command == "show":
+        from .obs import render_metrics_text
+
+        if args.width < 1:
+            parser.error("--width must be >= 1")
+        views = load_views(args.file)
+        try:
+            print(render_metrics_text(views, columns=_split_csv(args.columns), width=args.width))
+        except ReproError as exc:
+            parser.error(str(exc))
+        return 0
+
+    # plot
+    import os as _os
+
+    views = []
+    for path in args.files:
+        # Several files overlay in one report; labels get the filename stem
+        # so "before.jsonl" vs "after.jsonl" series stay tellable apart.
+        prefix = (
+            f"{_os.path.splitext(_os.path.basename(path))[0]}:"
+            if len(args.files) > 1
+            else ""
+        )
+        views.extend(load_views(path, prefix=prefix))
+    from .obs import write_metrics_html
+
+    try:
+        write_metrics_html(
+            args.out, views, columns=_split_csv(args.columns), title=args.title
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    except OSError as exc:
+        parser.error(f"could not write {args.out!r}: {exc}")
+    print(f"wrote {args.out} ({len(views)} series)", file=sys.stderr)
+    return 0
+
+
+def _bench_main(argv: List[str]) -> int:
+    from .bench import (
+        BenchReport,
+        compare_reports,
+        get_suite,
+        history_entries,
+        next_history_path,
+        render_history,
+        run_suite,
+    )
+    from .errors import ReproError
+
+    parser = build_bench_parser()
+    args = parser.parse_args(argv)
+
+    def gate_kwargs():
+        if args.max_slowdown < 0 or args.counter_tolerance < 0:
+            parser.error("--max-slowdown and --counter-tolerance must be >= 0")
+        return {
+            "max_slowdown": args.max_slowdown,
+            "counter_tolerance": args.counter_tolerance,
+            "wall_gate": not args.no_wall_gate,
+            "counter_gate": not args.no_counter_gate,
+        }
+
+    if args.command == "history":
+        try:
+            entries = history_entries(args.directory)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(render_history(entries))
+        return 0
+
+    if args.command == "compare":
+        kwargs = gate_kwargs()
+        try:
+            baseline = BenchReport.load_json(args.baseline)
+            current = BenchReport.load_json(args.current)
+            comparison = compare_reports(baseline, current, **kwargs)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    # run
+    kwargs = gate_kwargs()
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    try:
+        cases = get_suite(args.suite)
+    except ReproError as exc:
+        parser.error(str(exc))
+    wanted = _split_csv(args.cases)
+    if wanted:
+        by_name = {case.name: case for case in cases}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            parser.error(
+                f"unknown case(s) {unknown} in suite {args.suite!r} "
+                f"(has: {', '.join(sorted(by_name))})"
+            )
+        cases = tuple(by_name[name] for name in wanted)
+    try:
+        report = run_suite(
+            cases,
+            suite=args.suite,
+            seed=args.seed,
+            jobs=args.jobs,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    # Artifacts first: a closed stdout must not lose the JSON.
+    if args.json:
+        try:
+            report.save_json(args.json)
+        except OSError as exc:
+            parser.error(f"could not write {args.json!r}: {exc}")
+    if args.history:
+        try:
+            archived = report.save_json(next_history_path(args.history))
+        except OSError as exc:
+            parser.error(f"could not archive to {args.history!r}: {exc}")
+        print(f"archived {archived}", file=sys.stderr)
+    print(report.render())
+    if args.json:
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.compare:
+        try:
+            baseline = BenchReport.load_json(args.compare)
+            comparison = compare_reports(baseline, report, **kwargs)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+    return 0
+
+
 def _results_main(argv: List[str]) -> int:
     from . import api
     from .errors import ResultsError
@@ -856,6 +1269,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _check_main(argv[1:])
     if argv and argv[0] == "profile":
         return _profile_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

@@ -211,6 +211,18 @@ class HistoricalTraceManager:
         except KeyError:
             raise SchedulingError(f"server {server!r} is not registered with the HTM") from None
 
+    def unfinished_total(self) -> int:
+        """Tasks still unfinished across every server trace.
+
+        The HTM's view of the grid's backlog — the metrics sampler reads it
+        at every tick, so iteration is over the sorted server names for a
+        deterministic (and insertion-order-independent) account.
+        """
+        return sum(
+            len(self._traces[server].unfinished_task_ids())
+            for server in sorted(self._traces)
+        )
+
     # ------------------------------------------------------------------ #
     # the two HTM operations: predict and commit
     # ------------------------------------------------------------------ #

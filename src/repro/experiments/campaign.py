@@ -44,7 +44,7 @@ from ..core.heuristics import Heuristic, create_heuristic
 from ..errors import ExperimentError, StoreError
 from ..metrics.comparison import compare_completion_maps, completion_map
 from ..metrics.flow import summarize
-from ..obs import CellTrace, TraceEvent, Tracer
+from ..obs import CellMetrics, CellTrace, MetricsSampler, TraceEvent, Tracer
 from ..platform.middleware import GridMiddleware, MiddlewareConfig, RunResult
 from ..platform.spec import PlatformSpec
 from ..results import (
@@ -137,6 +137,14 @@ class CellWork:
     trace: bool = False
     #: Per-cell event-ring bound (``None`` = unbounded).
     trace_limit: Optional[int] = None
+    #: Attach a :class:`repro.obs.MetricsSampler` sampling every this many
+    #: virtual seconds (``None`` = metrics off).  Samples read simulation
+    #: state only, so sampled campaigns keep the exact record bytes of
+    #: unsampled ones and stay ``--jobs``-independent like traces.
+    metrics_interval: Optional[float] = None
+    #: Sliding window (virtual seconds) of the windowed throughput / latency
+    #: columns (``None`` = the sampler's default multiple of the interval).
+    metrics_window: Optional[float] = None
 
 
 def plan_cells(
@@ -188,6 +196,11 @@ def execute_cell(work: CellWork) -> RunResult:
         catalogue=work.catalogue,
         config=work.middleware_config,
         tracer=Tracer(limit=work.trace_limit) if work.trace else None,
+        sampler=(
+            MetricsSampler(work.metrics_interval, window=work.metrics_window)
+            if work.metrics_interval is not None
+            else None
+        ),
     )
     return middleware.run(work.metatask)
 
@@ -370,6 +383,7 @@ class _CampaignAssembler:
         store: Optional[CampaignStore] = None,
         cell_keys: Optional[Sequence] = None,
         trace: bool = False,
+        metrics_on: bool = False,
     ):
         from .runner import HeuristicOutcome  # circular-import guard
 
@@ -383,9 +397,13 @@ class _CampaignAssembler:
         self._observer_takes_run = [_accepts_run(o) for o in self.observers]
         self.store = store
         self.trace = trace
+        self.metrics_on = metrics_on
         #: One :class:`repro.obs.CellTrace` per cell, planned order (filled
         #: as cells are processed; stays all-``None`` when tracing is off).
         self.traces: List[Optional[CellTrace]] = [None] * len(cells)
+        #: One :class:`repro.obs.CellMetrics` per cell, planned order (stays
+        #: all-``None`` when sampling is off).
+        self.metrics: List[Optional[CellMetrics]] = [None] * len(cells)
         self.cell_keys = cell_keys
         self.config_hash = config_fingerprint(config)
         self.result_set = ResultSet()
@@ -474,6 +492,13 @@ class _CampaignAssembler:
                 events=tuple(events),
                 dropped=run.trace_dropped,
             )
+        if self.metrics_on:
+            self.metrics[index] = CellMetrics.from_series(
+                cell.heuristic,
+                cell.metatask_index,
+                cell.repetition,
+                run.metric_series,
+            )
         self.executed += 1
         self._emit(index, record, cached=False, run=run)
 
@@ -495,6 +520,12 @@ class _CampaignAssembler:
                 metatask_index=cell.metatask_index,
                 repetition=cell.repetition,
                 events=(TraceEvent(0.0, "store.hit"),),
+            )
+        if self.metrics_on:
+            # A recovered cell never re-simulates: its series is honestly
+            # empty rather than a replay of bytes the store never kept.
+            self.metrics[index] = CellMetrics.from_series(
+                cell.heuristic, cell.metatask_index, cell.repetition, None
             )
         self.recovered += 1
         self._emit(index, entry.record, cached=True)
@@ -597,6 +628,8 @@ def _run_round(
     rep_range: Optional[range] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
+    metrics_interval: Optional[float] = None,
+    metrics_window: Optional[float] = None,
 ) -> Tuple[_CampaignAssembler, List[RunCell]]:
     """Plan, execute and assemble one round of repetitions.
 
@@ -617,6 +650,8 @@ def _run_round(
             heuristic_factory=(heuristic_factories or {}).get(cell.heuristic),
             trace=trace,
             trace_limit=trace_limit,
+            metrics_interval=metrics_interval,
+            metrics_window=metrics_window,
         )
         for cell in cells
     ]
@@ -667,6 +702,7 @@ def _run_round(
     assembler = _CampaignAssembler(
         experiment_id, cells, work_items, config, observers,
         store=store, cell_keys=cell_keys, trace=trace,
+        metrics_on=metrics_interval is not None,
     )
     for observer in observers:
         observer.on_campaign_start(experiment_id, len(cells))
@@ -717,6 +753,8 @@ def run_campaign(
     ci_target: Optional[float] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
+    metrics_interval: Optional[float] = None,
+    metrics_window: Optional[float] = None,
 ):
     """Run a full table campaign and assemble its :class:`TableResult`.
 
@@ -747,6 +785,20 @@ def run_campaign(
     ``jobs`` level; ``trace_limit`` bounds each cell's event ring.  With a
     store attached, recovered cells contribute a single ``store.hit`` marker
     (they never re-simulate) and executed ones are prefixed ``store.miss``.
+
+    ``metrics_interval`` attaches a :class:`repro.obs.MetricsSampler` to
+    every executed cell — a fixed-interval virtual-time sampler of queue
+    depths, utilization, in-flight tasks, completions/failures, report
+    staleness and windowed throughput/latency — and returns the per-cell
+    series on ``table.metrics`` (planned order, one
+    :class:`repro.obs.CellMetrics` per cell; ``metrics_window`` sets the
+    sliding window of the windowed columns).  Sampling reads simulation
+    state and never mutates it, so a sampled campaign keeps the exact
+    record bytes of an unsampled one and — like traces — the series are
+    byte-identical at any ``jobs`` level.  Recovered cells never
+    re-simulate and contribute an empty series.  Both knobs are
+    execution-only: they are not config fields and leave fingerprints
+    untouched.
 
     ``store`` (or ``config.store``) attaches a
     :class:`~repro.store.CampaignStore`: the plan is diffed against the
@@ -784,6 +836,7 @@ def run_campaign(
                 experiment_id, platform, metatasks, config, catalogue,
                 heuristic_factories, executor, all_observers, store,
                 trace=trace, trace_limit=trace_limit,
+                metrics_interval=metrics_interval, metrics_window=metrics_window,
             )
         )
         total_reps = config.scale.repetitions
@@ -797,6 +850,7 @@ def run_campaign(
                     heuristic_factories, executor, all_observers, store,
                     rep_range=range(start, total_reps),
                     trace=trace, trace_limit=trace_limit,
+                    metrics_interval=metrics_interval, metrics_window=metrics_window,
                 )
             )
             groups = _metric_groups([a for a, _ in rounds], rule.metric)
@@ -890,6 +944,19 @@ def run_campaign(
             "worst_relative_half_width": (
                 None if not math.isfinite(worst_rel) else round(worst_rel, 6)
             ),
+            # The ``stats.*`` counter family: how much work the stopping
+            # engine spent and where it stood when it stopped.  Harvested by
+            # PerfReportObserver into the perf report's counter rollup and
+            # echoed on the ProgressObserver end line.
+            "counters": {
+                "stats.rounds": len(rounds),
+                "stats.cells": sum(len(cells) for _, cells in rounds),
+                "stats.cells_last_round": len(rounds[-1][1]),
+                "stats.groups": len(decision.groups),
+                "stats.groups_unresolved": sum(
+                    1 for group in decision.groups if not group.satisfied
+                ),
+            },
         }
     if store is not None:
         store.flush_stats()
@@ -909,6 +976,13 @@ def run_campaign(
     table.traces = (
         [cell_trace for assembler, _ in rounds for cell_trace in assembler.traces]
         if trace
+        else []
+    )
+    # Per-cell metric series, same shape and ordering contract as traces
+    # (empty unless ``metrics_interval`` was given).
+    table.metrics = (
+        [cell_metrics for assembler, _ in rounds for cell_metrics in assembler.metrics]
+        if metrics_interval is not None
         else []
     )
     return table

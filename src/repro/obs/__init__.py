@@ -11,6 +11,11 @@ profiling"):
   ``chrome://tracing`` / Perfetto);
 * :mod:`repro.obs.counters` — rollups of the fluid core's and HTM's plain-int
   hot-path counters (heap pushes, lazy deletions, cache hits, ...);
+* :mod:`repro.obs.metrics` — fixed-interval virtual-time metric time-series
+  (queue depth, utilization, in-flight, staleness, windowed throughput /
+  latency) with byte-stable JSONL / CSV serialisation;
+* :mod:`repro.obs.dashboard` — offline renderers over those series: TTY
+  sparklines and a single-file inline-SVG HTML report (stdlib only);
 * :mod:`repro.obs.report` — the per-campaign :class:`PerfReport`
   (``perf-report.json``) fed by :class:`PerfReportObserver` on the campaign
   observer chain;
@@ -38,6 +43,22 @@ from .trace import (
     write_trace_jsonl,
 )
 from .counters import merge_counters, middleware_counters, network_counters
+from .metrics import (
+    CellMetrics,
+    MetricSeries,
+    MetricsSampler,
+    SeriesView,
+    read_metrics_jsonl,
+    views_from_rows,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
+from .dashboard import (
+    render_metrics_html,
+    render_metrics_text,
+    sparkline,
+    write_metrics_html,
+)
 from .chrome import chrome_trace, write_chrome_trace
 from .report import PerfReport, PerfReportObserver
 
@@ -53,6 +74,18 @@ __all__ = [
     "merge_counters",
     "middleware_counters",
     "network_counters",
+    "MetricSeries",
+    "MetricsSampler",
+    "CellMetrics",
+    "SeriesView",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "write_metrics_csv",
+    "views_from_rows",
+    "sparkline",
+    "render_metrics_text",
+    "render_metrics_html",
+    "write_metrics_html",
     "chrome_trace",
     "write_chrome_trace",
     "PerfReport",

@@ -11,7 +11,11 @@ records) into the Chrome Trace Event JSON format, so a run opens directly in
   HTM traffic — labelled through ``thread_name`` metadata events;
 * every trace event becomes an instant event (``"ph": "i"``) at
   ``ts = virtual seconds x 1e6`` (the format counts microseconds) with the
-  full payload under ``args``.
+  full payload under ``args``;
+* metric samples (:class:`~repro.obs.metrics.CellMetrics`) become counter
+  events (``"ph": "C"``): one track per metric family (``queue``, ``util``,
+  ``inflight``, ...), with per-server series as that track's ``args`` — the
+  stacked counter lanes render alongside the event slices of the same cell.
 
 The export is a pure function of the trace: pids are cell positions in
 planned order, tids are assigned over the sorted set of actor names, so the
@@ -22,8 +26,9 @@ exactly that.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .metrics import CellMetrics
 from .trace import CellTrace, TraceEvent
 
 __all__ = ["chrome_trace", "write_chrome_trace"]
@@ -45,24 +50,70 @@ def _actor(event: TraceEvent) -> str:
     return _AGENT_LANE
 
 
-def chrome_trace(cell_traces: Sequence[CellTrace]) -> Dict[str, object]:
-    """Build the Chrome Trace Event JSON object for a campaign trace."""
+def _counter_events(cell: CellMetrics, pid: int) -> List[Dict[str, object]]:
+    """Chrome ``"C"`` counter events of one cell's metric samples.
+
+    Columns group into families on the first dot — ``queue.big0`` lands on
+    the ``queue`` track with args key ``big0``, a scalar column like
+    ``inflight`` becomes its own track with args key ``value`` — so a family
+    renders as one stacked counter lane per cell.  Families and their series
+    are emitted sorted: the export stays a pure function of the samples.
+    """
+    families: Dict[str, List[Tuple[str, int]]] = {}
+    for index, column in enumerate(cell.columns):
+        family, _, series = column.partition(".")
+        families.setdefault(family, []).append((series or "value", index))
+    events: List[Dict[str, object]] = []
+    for i, t in enumerate(cell.times):
+        for family in sorted(families):
+            events.append(
+                {
+                    "name": family,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        series: cell.values[index][i]
+                        for series, index in sorted(families[family])
+                    },
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    cell_traces: Sequence[CellTrace],
+    cell_metrics: Optional[Sequence[CellMetrics]] = None,
+) -> Dict[str, object]:
+    """Build the Chrome Trace Event JSON object for a campaign trace.
+
+    ``cell_metrics`` adds counter tracks: a metrics cell whose coordinates
+    match a traced cell shares that cell's pid (counters render under the
+    same process as its slices); unmatched metrics cells get fresh pids with
+    their own ``process_name`` metadata.
+    """
     trace_events: List[Dict[str, object]] = []
-    for pid, cell in enumerate(cell_traces, start=1):
-        actors = sorted({_actor(event) for event in cell.events} | {_AGENT_LANE})
-        tids = {name: tid for tid, name in enumerate(actors, start=1)}
+    pids: Dict[Tuple[str, int, int], int] = {}
+
+    def register(heuristic: str, metatask_index: int, repetition: int) -> int:
+        pid = len(pids) + 1
+        pids[(heuristic, metatask_index, repetition)] = pid
         trace_events.append(
             {
                 "name": "process_name",
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
-                "args": {
-                    "name": f"{cell.heuristic} m{cell.metatask_index} "
-                    f"rep{cell.repetition}"
-                },
+                "args": {"name": f"{heuristic} m{metatask_index} rep{repetition}"},
             }
         )
+        return pid
+
+    for cell in cell_traces:
+        pid = register(cell.heuristic, cell.metatask_index, cell.repetition)
+        actors = sorted({_actor(event) for event in cell.events} | {_AGENT_LANE})
+        tids = {name: tid for tid, name in enumerate(actors, start=1)}
         for name, tid in sorted(tids.items(), key=lambda item: item[1]):
             trace_events.append(
                 {
@@ -86,6 +137,12 @@ def chrome_trace(cell_traces: Sequence[CellTrace]) -> Dict[str, object]:
                     "args": dict(event.data),
                 }
             )
+    for cell in cell_metrics or ():
+        key = (cell.heuristic, cell.metatask_index, cell.repetition)
+        pid = pids.get(key)
+        if pid is None:
+            pid = register(*key)
+        trace_events.extend(_counter_events(cell, pid))
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -96,9 +153,13 @@ def chrome_trace(cell_traces: Sequence[CellTrace]) -> Dict[str, object]:
     }
 
 
-def write_chrome_trace(path: str, cell_traces: Sequence[CellTrace]) -> int:
+def write_chrome_trace(
+    path: str,
+    cell_traces: Sequence[CellTrace],
+    cell_metrics: Optional[Sequence[CellMetrics]] = None,
+) -> int:
     """Write the Chrome trace JSON for ``cell_traces``; returns the event count."""
-    document = chrome_trace(cell_traces)
+    document = chrome_trace(cell_traces, cell_metrics)
     with open(path, "w", encoding="utf-8", newline="\n") as handle:
         json.dump(document, handle, separators=(",", ":"), allow_nan=False)
         handle.write("\n")

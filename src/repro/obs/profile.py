@@ -30,9 +30,20 @@ from ..errors import ExperimentError
 from .report import PerfReport, PerfReportObserver
 from .trace import CellTrace, write_trace_jsonl
 from .chrome import write_chrome_trace
+from .metrics import (
+    CellMetrics,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
 from .wallclock import PhaseTimer
 
-__all__ = ["profile_scenario", "trace_scenario", "TraceRunResult"]
+__all__ = [
+    "profile_scenario",
+    "trace_scenario",
+    "metrics_scenario",
+    "TraceRunResult",
+    "MetricsRunResult",
+]
 
 
 def _campaign_pieces(
@@ -273,4 +284,98 @@ def trace_scenario(
         events=events,
         lines=lines,
         dropped=dropped,
+    )
+
+
+@dataclass
+class MetricsRunResult:
+    """What a ``repro metrics record`` run produced."""
+
+    scenario: str
+    out: str
+    csv_path: Optional[str]
+    chrome_path: Optional[str]
+    cells: int
+    samples: int
+
+    def render(self) -> str:
+        parts = [
+            f"metrics: {self.scenario} — {self.samples} sample(s) from "
+            f"{self.cells} cell(s)",
+            f"  jsonl:  {self.out}",
+        ]
+        if self.csv_path:
+            parts.append(f"  csv:    {self.csv_path}")
+        if self.chrome_path:
+            parts.append(
+                f"  chrome: {self.chrome_path} (open in chrome://tracing or "
+                "ui.perfetto.dev)"
+            )
+        parts.append(
+            "  inspect with: repro metrics show " + self.out
+        )
+        return "\n".join(parts)
+
+
+def metrics_scenario(
+    name: str,
+    *,
+    out: str,
+    csv_out: Optional[str] = None,
+    chrome_out: Optional[str] = None,
+    tasks: Optional[int] = None,
+    metatasks: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    seed: int = 2003,
+    jobs: int = 1,
+    interval: Optional[float] = None,
+    window: Optional[float] = None,
+) -> MetricsRunResult:
+    """Run one scenario with the metrics sampler on and write the series.
+
+    The JSONL at ``out`` is a deterministic function of the campaign plan —
+    sampling reads virtual time and simulation state only, so the file is
+    byte-identical at any ``jobs`` level (the CI metrics-smoke job diffs
+    exactly that).  ``csv_out`` adds a long-format CSV for spreadsheet
+    tooling; ``chrome_out`` writes a Chrome ``trace_event`` export carrying
+    the samples as counter tracks.  ``interval``/``window`` are virtual
+    seconds (``None`` takes the sampler defaults).
+    """
+    from ..experiments.campaign import run_campaign
+    from .metrics import DEFAULT_INTERVAL_S
+
+    scenario, effective = _campaign_pieces(
+        name, tasks, metatasks, repetitions, heuristics, seed, jobs
+    )
+    from ..scenarios.scenario import build_scenario_metatasks
+
+    workload = build_scenario_metatasks(scenario, effective)
+    table = run_campaign(
+        experiment_id=f"scenario-{scenario.name}",
+        title=f"metrics {scenario.name}",
+        platform=scenario.platform_factory(),
+        metatasks=workload,
+        config=effective,
+        jobs=jobs,
+        metrics_interval=DEFAULT_INTERVAL_S if interval is None else interval,
+        metrics_window=window,
+    )
+    cells: List[CellMetrics] = list(table.metrics)
+    samples = write_metrics_jsonl(out, cells)
+    csv_path = None
+    if csv_out:
+        write_metrics_csv(csv_out, cells)
+        csv_path = csv_out
+    chrome_path = None
+    if chrome_out:
+        write_chrome_trace(chrome_out, [], cell_metrics=cells)
+        chrome_path = chrome_out
+    return MetricsRunResult(
+        scenario=scenario.name,
+        out=out,
+        csv_path=csv_path,
+        chrome_path=chrome_path,
+        cells=len(cells),
+        samples=samples,
     )

@@ -49,6 +49,9 @@ class PerfReportObserver:
         self.per_cell: List[Tuple[str, Dict[str, int]]] = []
         self.tasks_simulated = 0
         self.truncated_cells = 0
+        #: Campaign-level counters harvested at ``on_campaign_end`` — today
+        #: the sequential stopping engine's ``stats.*`` family.
+        self.campaign_counters: Dict[str, int] = {}
 
     # Campaign engine hooks (duck-typed CampaignObserver protocol). ------- #
     def on_campaign_start(self, experiment_id: str, total_cells: int) -> None:
@@ -71,12 +74,27 @@ class PerfReportObserver:
         self.tasks_simulated += len(run.tasks)
 
     def on_campaign_end(self, result_set) -> None:
-        """No-op: the report is assembled by :meth:`PerfReport.build`."""
+        """Harvest campaign-level counters off the final set's meta.
+
+        A sequential-stopping campaign publishes its ``stats.*`` counter
+        family (rounds run, cells planned, groups unresolved at stop) under
+        ``meta["sequential"]["counters"]``; fixed-repetition campaigns carry
+        none and this stays empty.
+        """
+        meta = getattr(result_set, "meta", None) or {}
+        sequential = meta.get("sequential") or {}
+        for key, value in (sequential.get("counters") or {}).items():
+            self.campaign_counters[key] = (
+                self.campaign_counters.get(key, 0) + int(value)
+            )
 
     # Rollup. ------------------------------------------------------------- #
     def counters(self) -> Dict[str, int]:
-        """Counters summed over every counted cell (sorted keys)."""
-        return merge_counters(counters for _, counters in self.per_cell)
+        """Per-cell counters summed, plus campaign-level ones (sorted keys)."""
+        return merge_counters(
+            [counters for _, counters in self.per_cell]
+            + ([self.campaign_counters] if self.campaign_counters else [])
+        )
 
 
 @dataclass

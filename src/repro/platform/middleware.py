@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 from ..core.heuristics import Heuristic, create_heuristic
 from ..core.htm import HistoricalTraceManager
 from ..errors import NoCandidateServer, PlatformError, TaskRejected
-from ..obs import TraceEvent, Tracer, middleware_counters
+from ..obs import MetricSeries, MetricsSampler, TraceEvent, Tracer, middleware_counters
 from ..simulation import Environment, RandomStreams
 from ..workload.metatask import Metatask
 from ..workload.problems import ProblemCatalogue, PAPER_CATALOGUE
@@ -36,7 +36,7 @@ from .faults import (
     SpeedNoiseModel,
 )
 from .monitors import LoadMonitor
-from .server import ComputeServer
+from .server import RESOURCE_CPU, ComputeServer
 from .spec import MachineRole, PlatformSpec
 
 __all__ = ["MiddlewareConfig", "RunResult", "GridMiddleware"]
@@ -116,6 +116,8 @@ class RunResult:
     trace_events: Tuple[TraceEvent, ...] = ()
     #: Events the tracer's bounded ring had to drop (0 = complete trace).
     trace_dropped: int = 0
+    #: Fixed-interval metric samples (``None`` unless a sampler was attached).
+    metric_series: Optional[MetricSeries] = None
 
     @property
     def completed_tasks(self) -> List[Task]:
@@ -175,6 +177,7 @@ class GridMiddleware:
         config: Optional[MiddlewareConfig] = None,
         server_problems: Optional[Mapping[str, Iterable[str]]] = None,
         tracer: Optional[Tracer] = None,
+        sampler: Optional[MetricsSampler] = None,
     ):
         self.platform = platform
         self.catalogue = catalogue
@@ -202,6 +205,10 @@ class GridMiddleware:
         self.agent.tracer = tracer
         if self.agent.htm is not None:
             self.agent.htm.tracer = tracer
+        # The metrics bus (repro.obs): same ``is None`` zero-overhead contract
+        # as the tracer; its sampling callbacks only *read* simulation state,
+        # so a sampled run's numbers equal an unsampled run's.
+        self.sampler = sampler
         self.fault_policy = self.config.fault_policy_for(self.heuristic.name)
 
         memory_model = self.config.effective_memory_model()
@@ -238,6 +245,11 @@ class GridMiddleware:
         self._tasks: List[Task] = []
         self._terminal = 0
         self._expected = 0
+        # Incremental lifecycle counts: sampling reads them in O(1) instead
+        # of scanning the task list at every sample.
+        self._submitted_count = 0
+        self._completed_count = 0
+        self._failed_count = 0
         self._finished_event = None
         self._ran = False
 
@@ -334,6 +346,7 @@ class GridMiddleware:
     def submit(self, task: Task) -> None:
         """Entry point used by clients: schedule and dispatch one task."""
         task.status = TaskStatus.SUBMITTED
+        self._submitted_count += 1
         if self.tracer is not None:
             self.tracer.emit(
                 self.env.now,
@@ -378,6 +391,8 @@ class GridMiddleware:
             self.tracer.emit(
                 at, "task.complete", task=task.task_id, server=server_name
             )
+        if self.sampler is not None:
+            self.sampler.note_completion(at, at - task.arrival)
         self.agent.notify_completion(task, server_name, at)
         self._task_terminal(task)
 
@@ -424,9 +439,70 @@ class GridMiddleware:
 
     def _task_terminal(self, task: Task) -> None:
         self._terminal += 1
+        if task.completed:
+            self._completed_count += 1
+        else:
+            self._failed_count += 1
         if self._finished_event is not None and self._terminal >= self._expected:
             if not self._finished_event.triggered:
                 self._finished_event.succeed()
+
+    # ------------------------------------------------------------------ #
+    # metric sampling
+    # ------------------------------------------------------------------ #
+    def _metrics_loop(self):
+        """Self-rescheduling sampling process (the LoadMonitor idiom).
+
+        Samples at t=0 and then every ``sampler.interval`` virtual seconds.
+        The loop only ever *reads* state, so the extra calendar entries can
+        never change a simulated number: a sampled run's records equal an
+        unsampled run's, and the samples themselves are byte-identical at
+        any ``--jobs`` level.
+        """
+        while True:
+            self._take_sample()
+            yield self.env.timeout(self.sampler.interval)
+
+    def _take_sample(self) -> None:
+        """Append one metric row at the current virtual time (idempotent)."""
+        sampler = self.sampler
+        now = self.env.now
+        times = sampler.series.times
+        if times and times[-1] == now:
+            return  # the end-of-run sample landed on a scheduled tick
+        throughput, latency = sampler.window_stats(now)
+        row: Dict[str, float] = {
+            "inflight": float(self._submitted_count - self._terminal),
+            "completed": float(self._completed_count),
+            "failed": float(self._failed_count),
+            "throughput_w": throughput,
+            "latency_w": latency,
+            "staleness_s": self._mean_report_staleness(now),
+            "htm_unfinished": float(self._htm_unfinished()),
+        }
+        for name in sorted(self.servers):
+            server = self.servers[name]
+            row[f"queue.{name}"] = float(server.network.active_count())
+            row[f"util.{name}"] = server.network.utilization(RESOURCE_CPU)
+        sampler.record(now, row)
+
+    def _mean_report_staleness(self, now: float) -> float:
+        """Mean age of the freshest load report per server (0.0 = none yet)."""
+        total = 0.0
+        count = 0
+        for name in sorted(self.servers):
+            report = self.agent.registration(name).last_report
+            if report is not None:
+                total += now - report.emitted_at
+                count += 1
+        return total / count if count else 0.0
+
+    def _htm_unfinished(self) -> int:
+        """Tasks the HTM still tracks as unfinished, across its server traces."""
+        htm = self.agent.htm
+        if htm is None:
+            return 0
+        return htm.unfinished_total()
 
     # ------------------------------------------------------------------ #
     # running
@@ -452,6 +528,8 @@ class GridMiddleware:
         self._expected = len(tasks)
         self._finished_event = self.env.event()
         Client(self.env, client_name, tasks, submit=self.submit)
+        if self.sampler is not None:
+            self.env.process(self._metrics_loop(), name="metrics-sampler")
 
         horizon = self.env.timeout(self.config.max_horizon_s)
         self.env.run(until=self.env.any_of([self._finished_event, horizon]))
@@ -465,6 +543,13 @@ class GridMiddleware:
             for task in tasks:
                 if task.status not in (TaskStatus.COMPLETED, TaskStatus.FAILED):
                     task.mark_failed(now, "horizon")
+        if self.sampler is not None:
+            # One closing sample at the run's end state (skipped when the run
+            # ended exactly on a scheduled tick).  Taken *before* horizon
+            # finalisation would be dishonest — but the truncated tasks were
+            # genuinely in flight at env.now, and the incremental counts the
+            # row reads intentionally exclude the post-hoc 'horizon' failures.
+            self._take_sample()
 
         return RunResult(
             heuristic=self.heuristic.name,
@@ -479,6 +564,7 @@ class GridMiddleware:
             monitor_summary=self._monitor_summary(),
             trace_events=self.tracer.events() if self.tracer is not None else (),
             trace_dropped=self.tracer.dropped if self.tracer is not None else 0,
+            metric_series=self.sampler.series if self.sampler is not None else None,
         )
 
     def _monitor_summary(self) -> Dict[str, float]:

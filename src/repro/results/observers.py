@@ -132,8 +132,19 @@ class ProgressObserver(CampaignObserver):
             elapsed = perf_counter() - self._t0
             if elapsed > 0.0 and len(result_set):
                 pace = f" in {elapsed:.1f}s ({len(result_set) / elapsed:.1f} cells/s)"
+        sequential = ""
+        counters = (result_set.meta.get("sequential") or {}).get("counters") or {}
+        if counters:
+            rounds = counters.get("stats.rounds", 0)
+            cells = counters.get("stats.cells", 0)
+            unresolved = counters.get("stats.groups_unresolved", 0)
+            groups = counters.get("stats.groups", 0)
+            sequential = (
+                f" — sequential: {rounds} round(s), {cells} cell(s), "
+                f"{unresolved}/{groups} group(s) unresolved at stop"
+            )
         print(
             f"[{result_set.meta.get('experiment_id', 'campaign')}] "
-            f"done: {len(result_set)} records{split}{pace}",
+            f"done: {len(result_set)} records{split}{pace}{sequential}",
             file=self.stream,
         )

@@ -189,6 +189,21 @@ class ProcessorSharingQueue:
             rate = min(rate, self._per_job_cap)
         return rate
 
+    def utilization(self) -> float:
+        """Fraction of the capacity currently consumed (0.0 — 1.0).
+
+        With ``per_job_cap`` (the multi-CPU model) *n* jobs consume
+        ``n * rate()`` of the capacity — e.g. 2 tasks on a 4-CPU server read
+        0.5; without a cap any non-empty queue saturates the resource (the
+        paper's egalitarian ``1/n`` sharing), reading 1.0.
+        """
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        if self._capacity <= 0.0:
+            return 1.0
+        return min(1.0, n * self.rate() / self._capacity)
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -503,6 +518,10 @@ class FluidNetwork:
     def capacity(self, resource: str) -> float:
         """Capacity of ``resource``."""
         return self._queues[resource].capacity
+
+    def utilization(self, resource: str) -> float:
+        """Fraction of ``resource``'s capacity currently consumed (0.0 — 1.0)."""
+        return self._queues[resource].utilization()
 
     def tasks(self) -> List[FluidTaskState]:
         """All task states known to the network (finished ones included)."""

@@ -1,0 +1,205 @@
+"""Tests of the bench harness: suites, reports, the regression gate, history."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchCase,
+    BenchReport,
+    SMOKE_SUITE,
+    compare_reports,
+    get_suite,
+    history_entries,
+    next_history_path,
+    render_history,
+    run_suite,
+)
+from repro.bench.report import SCHEMA, BenchCaseResult
+from repro.cli import main
+from repro.errors import ExperimentError, ResultsError
+
+
+def _report(wall_by_case, seed: int = 2003, counters=None) -> BenchReport:
+    report = BenchReport(suite="test", seed=seed, jobs=1)
+    for name, wall in wall_by_case.items():
+        report.cases.append(
+            BenchCaseResult(
+                name=name,
+                scenario="paper-low-rate",
+                scale={"tasks_per_metatask": 10},
+                wall_s=wall,
+                phases={"simulate": wall},
+                tasks_simulated=100,
+                tasks_per_s=100.0 / wall if wall else 0.0,
+                cells=4,
+                counters=dict(counters or {"calendar.pushes": 1000}),
+            )
+        )
+    return report
+
+
+class TestSuites:
+    def test_unknown_suite_is_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown bench suite"):
+            get_suite("nope")
+
+    def test_duplicate_case_names_are_rejected(self):
+        case = BenchCase(name="dup", scenario="paper-low-rate", tasks=5)
+        with pytest.raises(ExperimentError, match="duplicate"):
+            run_suite([case, case])
+
+    def test_empty_suite_is_rejected(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            run_suite([])
+
+
+class TestRunner:
+    def test_smoke_suite_produces_a_full_report(self):
+        report = run_suite(SMOKE_SUITE, suite="smoke", seed=2003)
+        assert [case.name for case in report.cases] == [c.name for c in SMOKE_SUITE]
+        for case in report.cases:
+            assert case.wall_s > 0
+            assert case.tasks_simulated > 0
+            assert case.counters  # deterministic hot-path counters present
+            assert "simulate" in case.phases
+
+    def test_counters_are_deterministic_across_runs(self):
+        case = BenchCase(name="tiny", scenario="paper-low-rate", tasks=10)
+        first = run_suite([case], seed=2003)
+        second = run_suite([case], seed=2003)
+        assert first.cases[0].counters == second.cases[0].counters
+        assert first.cases[0].tasks_simulated == second.cases[0].tasks_simulated
+
+
+class TestReportPersistence:
+    def test_roundtrip(self, tmp_path):
+        report = _report({"a": 1.0, "b": 2.0})
+        path = str(tmp_path / "report.json")
+        report.save_json(path)
+        loaded = BenchReport.load_json(path)
+        assert loaded.as_dict() == report.as_dict()
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["schema"] == SCHEMA
+
+    def test_schema_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "bench-report/v999"}', encoding="utf-8")
+        with pytest.raises(ResultsError, match="schema"):
+            BenchReport.load_json(str(path))
+
+    def test_render_lists_every_case(self):
+        text = _report({"a": 1.0, "b": 2.0}).render()
+        assert "a" in text and "b" in text and "2 case(s)" in text
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        comparison = compare_reports(_report({"a": 1.0}), _report({"a": 1.0}))
+        assert comparison.ok
+        assert "PASS" in comparison.render()
+
+    def test_twenty_five_percent_slowdown_regresses(self):
+        comparison = compare_reports(_report({"a": 1.0}), _report({"a": 1.25}))
+        assert not comparison.ok
+        assert "wall time" in comparison.render()
+
+    def test_slowdown_inside_the_budget_passes(self):
+        assert compare_reports(_report({"a": 1.0}), _report({"a": 1.15})).ok
+
+    def test_improvement_passes(self):
+        assert compare_reports(_report({"a": 1.0}), _report({"a": 0.5})).ok
+
+    def test_no_wall_gate_reports_but_does_not_fail(self):
+        comparison = compare_reports(
+            _report({"a": 1.0}), _report({"a": 3.0}), wall_gate=False
+        )
+        assert comparison.ok
+
+    def test_counter_growth_regresses_even_when_wall_improves(self):
+        baseline = _report({"a": 1.0}, counters={"calendar.pushes": 1000})
+        current = _report({"a": 0.9}, counters={"calendar.pushes": 1200})
+        comparison = compare_reports(baseline, current)
+        assert not comparison.ok
+        assert "counter calendar.pushes" in comparison.render()
+
+    def test_missing_case_regresses_and_new_case_passes(self):
+        comparison = compare_reports(
+            _report({"a": 1.0, "gone": 1.0}), _report({"a": 1.0, "fresh": 1.0})
+        )
+        assert not comparison.ok
+        rendered = comparison.render()
+        assert "MISSING" in rendered and "new case" in rendered
+        only_missing = [d for d in comparison.deltas if d.regressed]
+        assert [d.name for d in only_missing] == ["gone"]
+
+    def test_seed_mismatch_is_rejected(self):
+        with pytest.raises(ExperimentError, match="seed"):
+            compare_reports(_report({"a": 1.0}), _report({"a": 1.0}, seed=1))
+
+
+class TestHistory:
+    def test_archive_sequence_and_trend_render(self, tmp_path):
+        directory = str(tmp_path / "hist")
+        first = next_history_path(directory)
+        assert first.endswith("bench-0001.json")
+        _report({"a": 1.0}).save_json(first)
+        second = next_history_path(directory)
+        assert second.endswith("bench-0002.json")
+        _report({"a": 1.5}).save_json(second)
+        entries = history_entries(directory)
+        assert [path for path, _ in entries] == [first, second]
+        text = render_history(entries)
+        assert "2 report(s)" in text and "a" in text
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(ResultsError):
+            history_entries(str(tmp_path / "nope"))
+
+
+class TestCliGate:
+    def test_compare_exits_nonzero_on_synthetic_slowdown(self, tmp_path, capsys):
+        baseline = str(tmp_path / "base.json")
+        slowed = str(tmp_path / "slow.json")
+        _report({"a": 1.0}).save_json(baseline)
+        slow = _report({"a": 1.0})
+        for case in slow.cases:
+            case.wall_s *= 1.25  # >= 20% slower than the committed baseline
+        slow.save_json(slowed)
+        assert main(["bench", "compare", baseline, slowed]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_exits_zero_on_identical_reports(self, tmp_path, capsys):
+        path = str(tmp_path / "report.json")
+        _report({"a": 1.0}).save_json(path)
+        assert main(["bench", "compare", path, path]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_run_with_compare_gates_in_one_command(self, tmp_path, capsys):
+        case_names = "paper-low-rate-40"
+        baseline = str(tmp_path / "base.json")
+        assert (
+            main(
+                ["bench", "run", "--suite", "smoke", "--cases", case_names,
+                 "--json", baseline]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Same machine, same work, no-wall-gate for safety: must pass.
+        assert (
+            main(
+                ["bench", "run", "--suite", "smoke", "--cases", case_names,
+                 "--compare", baseline, "--no-wall-gate"]
+            )
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_history_cli(self, tmp_path, capsys):
+        directory = str(tmp_path / "hist")
+        _report({"a": 1.0}).save_json(next_history_path(directory))
+        assert main(["bench", "history", directory]) == 0
+        assert "1 report(s)" in capsys.readouterr().out

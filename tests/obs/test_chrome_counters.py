@@ -1,0 +1,64 @@
+"""Tests of Chrome counter-track ("C") events built from metric samples."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import CellMetrics, CellTrace, MetricSeries, TraceEvent, chrome_trace, write_chrome_trace
+
+
+def _metrics_cell(heuristic: str = "mct") -> CellMetrics:
+    series = MetricSeries()
+    series.append(0.0, {"inflight": 0.0, "queue.a": 0.0, "queue.b": 1.0})
+    series.append(60.0, {"inflight": 2.0, "queue.a": 1.0, "queue.b": 0.0})
+    return CellMetrics.from_series(heuristic, 0, 0, series)
+
+
+class TestCounterEvents:
+    def test_columns_group_into_families(self):
+        document = chrome_trace([], cell_metrics=[_metrics_cell()])
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        # 2 samples x 2 families (inflight, queue).
+        assert len(counters) == 4
+        by_name = {}
+        for event in counters:
+            by_name.setdefault(event["name"], []).append(event)
+        assert set(by_name) == {"inflight", "queue"}
+        # Dotted columns become per-series args on one family track; scalar
+        # columns get the "value" key.
+        assert by_name["queue"][0]["args"] == {"a": 0.0, "b": 1.0}
+        assert by_name["inflight"][1]["args"] == {"value": 2.0}
+        # Timestamps are virtual seconds in microseconds.
+        assert [e["ts"] for e in by_name["queue"]] == [0.0, 60.0 * 1e6]
+
+    def test_metrics_share_the_pid_of_the_matching_traced_cell(self):
+        trace = CellTrace(
+            heuristic="mct",
+            metatask_index=0,
+            repetition=0,
+            events=(TraceEvent(0.0, "task.submitted"),),
+        )
+        document = chrome_trace([trace], cell_metrics=[_metrics_cell("mct")])
+        events = document["traceEvents"]
+        process_names = [e for e in events if e["name"] == "process_name"]
+        assert len(process_names) == 1  # shared pid: no second process entry
+        pid = process_names[0]["pid"]
+        assert all(e["pid"] == pid for e in events if e["ph"] == "C")
+
+    def test_unmatched_metrics_cell_gets_its_own_process(self):
+        trace = CellTrace(
+            heuristic="mct", metatask_index=0, repetition=0, events=()
+        )
+        document = chrome_trace([trace], cell_metrics=[_metrics_cell("msf")])
+        process_names = [
+            e for e in document["traceEvents"] if e["name"] == "process_name"
+        ]
+        assert len(process_names) == 2
+        assert process_names[1]["args"]["name"] == "msf m0 rep0"
+
+    def test_write_counts_counter_events_and_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(path, [], cell_metrics=[_metrics_cell()])
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert count == len(document["traceEvents"]) == 5  # 1 metadata + 4 "C"
